@@ -1,0 +1,261 @@
+//! Atypical clusters (Definition 4) and the merge operation (Algorithm 2).
+
+use crate::event::AtypicalEvent;
+use crate::feature::{SpatialFeature, TemporalFeature};
+use cps_core::{ClusterId, Severity, TimeRange, TimeWindow, WindowSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An atypical cluster `⟨ID, SF, TF⟩` — micro when built from a single
+/// event, macro when merged from several clusters.
+///
+/// Invariant: `SF.total() == TF.total()` — both features aggregate exactly
+/// the severities of the underlying records, only along different
+/// dimensions. Constructors and merges preserve it (checked in debug
+/// builds).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AtypicalCluster {
+    /// Cluster id; merges allocate fresh ids (Algorithm 2, line 1).
+    pub id: ClusterId,
+    /// Spatial feature: severity per sensor.
+    pub sf: SpatialFeature,
+    /// Temporal feature: severity per time window.
+    pub tf: TemporalFeature,
+    /// Number of micro-clusters merged into this cluster (1 for a micro).
+    pub merged_count: u32,
+}
+
+impl AtypicalCluster {
+    /// Builds a cluster from features.
+    ///
+    /// # Panics
+    /// Debug builds panic when the SF/TF totals disagree.
+    pub fn new(id: ClusterId, sf: SpatialFeature, tf: TemporalFeature) -> Self {
+        debug_assert_eq!(
+            sf.total(),
+            tf.total(),
+            "SF and TF must aggregate the same records"
+        );
+        Self {
+            id,
+            sf,
+            tf,
+            merged_count: 1,
+        }
+    }
+
+    /// Summarizes an atypical event into its micro-cluster (Algorithm 1,
+    /// lines 6–12).
+    pub fn from_event(id: ClusterId, event: &AtypicalEvent) -> Self {
+        let sf: SpatialFeature = event
+            .records()
+            .iter()
+            .map(|r| (r.sensor, r.severity))
+            .collect();
+        let tf: TemporalFeature = event
+            .records()
+            .iter()
+            .map(|r| (r.window, r.severity))
+            .collect();
+        Self::new(id, sf, tf)
+    }
+
+    /// Total severity `Σ μᵢ = Σ νⱼ` (Definition 5's measure).
+    pub fn severity(&self) -> Severity {
+        self.sf.total()
+    }
+
+    /// Number of distinct sensors covered.
+    pub fn sensor_count(&self) -> usize {
+        self.sf.len()
+    }
+
+    /// Number of distinct time windows covered.
+    pub fn window_count(&self) -> usize {
+        self.tf.len()
+    }
+
+    /// The covering time range `[first, last + 1)` of the temporal feature.
+    pub fn time_range(&self) -> TimeRange {
+        match self.tf.key_span() {
+            Some((lo, hi)) => TimeRange::new(lo, TimeWindow::new(hi.raw() + 1)),
+            None => TimeRange::EMPTY,
+        }
+    }
+
+    /// Merges two clusters into a macro-cluster with a fresh id (Algorithm
+    /// 2). `O(m₁+m₂+l₁+l₂)` per Proposition 2.
+    pub fn merge(&self, other: &AtypicalCluster, id: ClusterId) -> AtypicalCluster {
+        AtypicalCluster {
+            id,
+            sf: self.sf.merge(&other.sf),
+            tf: self.tf.merge(&other.tf),
+            merged_count: self.merged_count + other.merged_count,
+        }
+    }
+
+    /// When did the event start, and how hard? Answers the paper's
+    /// motivating query "when and how do they start": the first window and
+    /// its severity.
+    pub fn onset(&self) -> Option<(TimeWindow, Severity)> {
+        self.tf.iter().next()
+    }
+
+    /// Where is it most serious? (Example 4: "the most serious part is the
+    /// road segment monitored by s1".)
+    pub fn most_serious_sensor(&self) -> Option<(cps_core::SensorId, Severity)> {
+        self.sf.peak()
+    }
+
+    /// The window with the widest impact.
+    pub fn most_serious_window(&self) -> Option<(TimeWindow, Severity)> {
+        self.tf.peak()
+    }
+
+    /// Approximate model size in bytes (Figure 16's `AC` series).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.sf.approx_bytes() + self.tf.approx_bytes()
+    }
+
+    /// Human-readable one-line summary.
+    pub fn describe(&self, spec: WindowSpec) -> String {
+        let onset = self
+            .onset()
+            .map(|(w, _)| format!("day {} {}", spec.day_of(w), spec.clock_label(w)))
+            .unwrap_or_else(|| "-".to_string());
+        let peak = self
+            .most_serious_sensor()
+            .map(|(s, sev)| format!("{s} ({sev})"))
+            .unwrap_or_else(|| "-".to_string());
+        format!(
+            "{}: severity {}, {} sensors x {} windows, starts {}, worst at {}",
+            self.id,
+            self.severity(),
+            self.sensor_count(),
+            self.window_count(),
+            onset,
+            peak
+        )
+    }
+}
+
+impl fmt::Display for AtypicalCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}(sev={}, |S|={}, |T|={})",
+            self.id,
+            self.severity(),
+            self.sensor_count(),
+            self.window_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::{AtypicalRecord, SensorId};
+
+    fn rec(sensor: u32, window: u32, mins: f64) -> AtypicalRecord {
+        AtypicalRecord::new(
+            SensorId::new(sensor),
+            TimeWindow::new(window),
+            Severity::from_minutes(mins),
+        )
+    }
+
+    fn cluster_from(records: Vec<AtypicalRecord>, id: u64) -> AtypicalCluster {
+        let event = AtypicalEvent::new(records);
+        AtypicalCluster::from_event(ClusterId::new(id), &event)
+    }
+
+    /// The running example of Figures 4/5: event A.
+    fn example_a() -> AtypicalCluster {
+        cluster_from(
+            vec![
+                rec(1, 97, 4.0),  // 8:05–8:10, 4 min
+                rec(1, 98, 5.0),  // 8:10–8:15, 5 min
+                rec(2, 98, 5.0),
+                rec(3, 99, 5.0),
+                rec(4, 99, 2.0),
+            ],
+            1,
+        )
+    }
+
+    #[test]
+    fn micro_cluster_aggregates_like_figure_5() {
+        let c = example_a();
+        assert_eq!(c.sf.get(SensorId::new(1)), Severity::from_minutes(9.0));
+        assert_eq!(c.tf.get(TimeWindow::new(97)), Severity::from_minutes(4.0));
+        assert_eq!(c.tf.get(TimeWindow::new(98)), Severity::from_minutes(10.0));
+        assert_eq!(c.tf.get(TimeWindow::new(99)), Severity::from_minutes(7.0));
+        assert_eq!(c.severity(), Severity::from_minutes(21.0));
+        assert_eq!(c.sensor_count(), 4);
+        assert_eq!(c.window_count(), 3);
+        assert_eq!(c.merged_count, 1);
+    }
+
+    #[test]
+    fn sf_tf_totals_always_agree() {
+        let c = example_a();
+        assert_eq!(c.sf.total(), c.tf.total());
+    }
+
+    #[test]
+    fn onset_and_peaks() {
+        let c = example_a();
+        let (w, s) = c.onset().unwrap();
+        assert_eq!(w, TimeWindow::new(97));
+        assert_eq!(s, Severity::from_minutes(4.0));
+        let (sensor, sev) = c.most_serious_sensor().unwrap();
+        assert_eq!(sensor, SensorId::new(1));
+        assert_eq!(sev, Severity::from_minutes(9.0));
+        let (win, wsev) = c.most_serious_window().unwrap();
+        assert_eq!(win, TimeWindow::new(98));
+        assert_eq!(wsev, Severity::from_minutes(10.0));
+    }
+
+    #[test]
+    fn time_range_covers_all_windows() {
+        let c = example_a();
+        assert_eq!(
+            c.time_range(),
+            TimeRange::new(TimeWindow::new(97), TimeWindow::new(100))
+        );
+    }
+
+    #[test]
+    fn merge_accumulates_and_allocates_new_id() {
+        let a = example_a();
+        let b = cluster_from(vec![rec(1, 100, 5.0), rec(9, 100, 5.0)], 2);
+        let m = a.merge(&b, ClusterId::new(99));
+        assert_eq!(m.id, ClusterId::new(99));
+        assert_eq!(m.severity(), a.severity() + b.severity());
+        assert_eq!(m.sf.get(SensorId::new(1)), Severity::from_minutes(14.0));
+        assert_eq!(m.sensor_count(), 5);
+        assert_eq!(m.merged_count, 2);
+        assert_eq!(m.sf.total(), m.tf.total());
+    }
+
+    #[test]
+    fn merge_is_commutative_in_content() {
+        let a = example_a();
+        let b = cluster_from(vec![rec(2, 101, 3.0)], 2);
+        let ab = a.merge(&b, ClusterId::new(10));
+        let ba = b.merge(&a, ClusterId::new(10));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn describe_mentions_key_facts() {
+        let c = example_a();
+        let d = c.describe(WindowSpec::PEMS);
+        assert!(d.contains("21 min"));
+        assert!(d.contains("4 sensors"));
+        assert!(d.contains("08:05"), "{d}");
+        let display = format!("{c}");
+        assert!(display.contains("|S|=4"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Atypical events (Definitions 1–3) and their extraction (Algorithm 1).
+//!
+//! An atypical event is a maximal set of atypical records closed under the
+//! *atypical related* relation — i.e. a connected component of the
+//! direct-relation graph. Extraction walks components from random seeds
+//! exactly as Algorithm 1 does; the neighbour query is abstracted behind
+//! [`cps_index::NeighborSource`], so the same code runs the naive `O(N+n²)`
+//! and indexed `O(N + n·log n)` variants of Proposition 1.
+
+use crate::cluster::AtypicalCluster;
+use cps_core::measure::HolisticModel;
+use cps_core::{AtypicalRecord, Severity};
+use cps_core::ids::ClusterIdGen;
+use cps_index::NeighborSource;
+
+/// A raw atypical event: the full set of member records.
+///
+/// Holistic (Property 1): there is no constant-size summary of a
+/// sub-aggregation — which is precisely why the pipeline converts events to
+/// micro-clusters immediately.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtypicalEvent {
+    records: Vec<AtypicalRecord>,
+}
+
+impl HolisticModel for AtypicalEvent {}
+
+impl AtypicalEvent {
+    /// Wraps a set of records as an event.
+    pub fn new(records: Vec<AtypicalRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Member records.
+    pub fn records(&self) -> &[AtypicalRecord] {
+        &self.records
+    }
+
+    /// Number of member records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the event has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total severity of the event.
+    pub fn severity(&self) -> Severity {
+        self.records.iter().map(|r| r.severity).sum()
+    }
+
+    /// Approximate storage size in bytes (Figure 16's `AE` series).
+    pub fn approx_bytes(&self) -> usize {
+        self.records.len() * std::mem::size_of::<AtypicalRecord>()
+    }
+}
+
+/// Extracts all atypical events as connected components (Algorithm 1,
+/// lines 2–5, run to exhaustion).
+pub fn extract_events<S: NeighborSource>(source: &S) -> Vec<AtypicalEvent> {
+    let records = source.records();
+    let n = records.len();
+    let mut visited = vec![false; n];
+    let mut events = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut neighbors: Vec<u32> = Vec::new();
+
+    for seed in 0..n as u32 {
+        if visited[seed as usize] {
+            continue;
+        }
+        // BFS the component of `seed`.
+        let mut members = Vec::new();
+        visited[seed as usize] = true;
+        frontier.clear();
+        frontier.push(seed);
+        while let Some(idx) = frontier.pop() {
+            members.push(records[idx as usize]);
+            neighbors.clear();
+            source.direct_related(idx, &mut neighbors);
+            for &n_idx in &neighbors {
+                if !visited[n_idx as usize] {
+                    visited[n_idx as usize] = true;
+                    frontier.push(n_idx);
+                }
+            }
+        }
+        members.sort_unstable_by_key(|r| (r.window, r.sensor));
+        events.push(AtypicalEvent::new(members));
+    }
+    events
+}
+
+/// Algorithm 1 end-to-end: extracts events and summarizes each into a
+/// micro-cluster, allocating ids from `ids`.
+pub fn extract_micro_clusters<S: NeighborSource>(
+    source: &S,
+    ids: &mut ClusterIdGen,
+) -> Vec<AtypicalCluster> {
+    extract_events(source)
+        .iter()
+        .map(|event| AtypicalCluster::from_event(ids.next_id(), event))
+        .collect()
+}
+
+/// Convenience wrapper keeping events and their micro-clusters paired
+/// (model-size experiments need both).
+pub fn extract_events_and_clusters<S: NeighborSource>(
+    source: &S,
+    ids: &mut ClusterIdGen,
+) -> Vec<(AtypicalEvent, AtypicalCluster)> {
+    extract_events(source)
+        .into_iter()
+        .map(|event| {
+            let cluster = AtypicalCluster::from_event(ids.next_id(), &event);
+            (event, cluster)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::{ClusterId, Params, SensorId, TimeWindow, WindowSpec};
+    use cps_geo::{point::LOS_ANGELES, RoadNetwork};
+    use cps_index::{NaiveNeighbors, StIndex};
+
+    fn line_network() -> RoadNetwork {
+        RoadNetwork::builder()
+            .highway(
+                "line",
+                vec![
+                    LOS_ANGELES.offset_miles(0.0, -10.0),
+                    LOS_ANGELES.offset_miles(0.0, 10.0),
+                ],
+                0.5,
+            )
+            .build()
+    }
+
+    fn rec(sensor: u32, window: u32) -> AtypicalRecord {
+        AtypicalRecord::new(
+            SensorId::new(sensor),
+            TimeWindow::new(window),
+            Severity::from_minutes(3.0),
+        )
+    }
+
+    #[test]
+    fn chained_records_form_one_event() {
+        // Records chained pairwise within δd/δt: a–b–c–d, where a and d are
+        // NOT directly related but are transitively (Definition 2).
+        let net = line_network();
+        let records = vec![rec(0, 100), rec(2, 102), rec(4, 104), rec(6, 106)];
+        let params = Params::paper_defaults(); // δd=1.5mi (3 hops), δt=15min (2 windows)
+        let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);
+        let events = extract_events(&idx);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].len(), 4);
+    }
+
+    #[test]
+    fn disjoint_groups_form_separate_events() {
+        let net = line_network();
+        // Two groups far apart in space, one far apart in time.
+        let records = vec![
+            rec(0, 100),
+            rec(1, 100),
+            rec(30, 100), // ≥ 14 miles away
+            rec(31, 100),
+            rec(0, 500), // same place, hours later
+        ];
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);
+        let mut events = extract_events(&idx);
+        events.sort_by_key(|e| e.records()[0].sensor);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].len(), 2);
+        assert_eq!(events[1].len(), 1); // the late lone record
+        assert_eq!(events[2].len(), 2);
+    }
+
+    #[test]
+    fn events_partition_the_records() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let net = line_network();
+        let mut rng = StdRng::seed_from_u64(5);
+        let records: Vec<AtypicalRecord> = (0..300)
+            .map(|_| rec(rng.gen_range(0..net.num_sensors() as u32), rng.gen_range(0..300)))
+            .collect();
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);
+        let events = extract_events(&idx);
+        let total: usize = events.iter().map(AtypicalEvent::len).sum();
+        assert_eq!(total, records.len());
+        // Each record appears exactly once.
+        let mut seen: Vec<AtypicalRecord> =
+            events.iter().flat_map(|e| e.records().iter().copied()).collect();
+        seen.sort_unstable_by_key(|r| (r.sensor, r.window));
+        let mut want = records.clone();
+        want.sort_unstable_by_key(|r| (r.sensor, r.window));
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn naive_and_indexed_extraction_agree() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let net = line_network();
+        let mut rng = StdRng::seed_from_u64(9);
+        let records: Vec<AtypicalRecord> = (0..200)
+            .map(|_| rec(rng.gen_range(0..net.num_sensors() as u32), rng.gen_range(0..150)))
+            .collect();
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);
+        let naive = NaiveNeighbors::new(&records, &net, &params, WindowSpec::PEMS);
+        let mut ev_a = extract_events(&idx);
+        let mut ev_b = extract_events(&naive);
+        let key = |e: &AtypicalEvent| (e.records()[0].window, e.records()[0].sensor);
+        ev_a.sort_by_key(key);
+        ev_b.sort_by_key(key);
+        assert_eq!(ev_a, ev_b);
+    }
+
+    #[test]
+    fn micro_clusters_carry_event_severity() {
+        let net = line_network();
+        let records = vec![rec(0, 100), rec(1, 100), rec(0, 101)];
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);
+        let mut ids = ClusterIdGen::new(1);
+        let clusters = extract_micro_clusters(&idx, &mut ids);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].id, ClusterId::new(1));
+        assert_eq!(clusters[0].severity(), Severity::from_minutes(9.0));
+        assert_eq!(clusters[0].sensor_count(), 2);
+    }
+
+    #[test]
+    fn paired_extraction_matches() {
+        let net = line_network();
+        let records = vec![rec(0, 100), rec(20, 400)];
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);
+        let mut ids = ClusterIdGen::new(1);
+        let pairs = extract_events_and_clusters(&idx, &mut ids);
+        assert_eq!(pairs.len(), 2);
+        for (event, cluster) in &pairs {
+            assert_eq!(event.severity(), cluster.severity());
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_no_events() {
+        let net = line_network();
+        let records: Vec<AtypicalRecord> = vec![];
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);
+        assert!(extract_events(&idx).is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Spatial and temporal features (Definition 4).
+//!
+//! `SF = {⟨s₁,μ₁⟩,…}` aggregates an event's severity per sensor; `TF =
+//! {⟨t₁,ν₁⟩,…}` per time window. Both are stored as key-sorted vectors:
+//! merging, overlap computation and equality are then linear merge-walks
+//! with deterministic iteration order (which the paper's Property 3 —
+//! exact commutativity/associativity — relies on in our tests).
+
+use cps_core::measure::AlgebraicSummary;
+use cps_core::{SensorId, Severity, TimeWindow};
+use serde::{Deserialize, Serialize};
+
+/// A severity-weighted feature over ordered keys.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Feature<K: Copy + Ord> {
+    /// `(key, aggregated severity)`, strictly sorted by key.
+    entries: Vec<(K, Severity)>,
+}
+
+/// The spatial feature: severity per sensor.
+pub type SpatialFeature = Feature<SensorId>;
+
+/// The temporal feature: severity per time window.
+pub type TemporalFeature = Feature<TimeWindow>;
+
+impl<K: Copy + Ord> Feature<K> {
+    /// The empty feature.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from arbitrary `(key, severity)` pairs, combining duplicates.
+    pub fn from_pairs<I: IntoIterator<Item = (K, Severity)>>(pairs: I) -> Self {
+        let mut entries: Vec<(K, Severity)> = pairs.into_iter().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let mut out: Vec<(K, Severity)> = Vec::with_capacity(entries.len());
+        for (k, s) in entries {
+            match out.last_mut() {
+                Some((lk, ls)) if *lk == k => *ls += s,
+                _ => out.push((k, s)),
+            }
+        }
+        Self { entries: out }
+    }
+
+    /// Adds severity to one key.
+    pub fn add(&mut self, key: K, severity: Severity) {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.entries[i].1 += severity,
+            Err(i) => self.entries.insert(i, (key, severity)),
+        }
+    }
+
+    /// Aggregated severity of `key` (zero if absent).
+    pub fn get(&self, key: K) -> Severity {
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(Severity::ZERO)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: K) -> bool {
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .is_ok()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the feature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total severity over all keys.
+    pub fn total(&self) -> Severity {
+        self.entries.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Iterates `(key, severity)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, Severity)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The keys, in order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.entries.iter().map(|&(k, _)| k)
+    }
+
+    /// The key with the highest severity (ties broken by key order) — used
+    /// to answer "which part is most serious".
+    pub fn peak(&self) -> Option<(K, Severity)> {
+        self.entries.iter().copied().max_by_key(|&(k, s)| {
+            (s, std::cmp::Reverse(k))
+        })
+    }
+
+    /// Smallest and largest key, if non-empty.
+    pub fn key_span(&self) -> Option<(K, K)> {
+        match (self.entries.first(), self.entries.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    /// The merged feature of two disjoint record sets (Algorithm 2, per
+    /// feature): common keys accumulate, the rest copy over. Linear in
+    /// `self.len() + other.len()` (Proposition 2).
+    pub fn merge(&self, other: &Feature<K>) -> Feature<K> {
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ka, sa) = self.entries[i];
+            let (kb, sb) = other.entries[j];
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    out.push((ka, sa));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((kb, sb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((ka, sa + sb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.entries[i..]);
+        out.extend_from_slice(&other.entries[j..]);
+        Feature { entries: out }
+    }
+
+    /// Severity mass each side puts on the *common* keys:
+    /// `(Σ_{K₁∩K₂} self, Σ_{K₁∩K₂} other)` — the numerators of Equations
+    /// (3)/(4).
+    pub fn overlap(&self, other: &Feature<K>) -> (Severity, Severity) {
+        let (mut i, mut j) = (0, 0);
+        let (mut a, mut b) = (Severity::ZERO, Severity::ZERO);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ka, sa) = self.entries[i];
+            let (kb, sb) = other.entries[j];
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    a += sa;
+                    b += sb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (a, b)
+    }
+
+    /// Restricts the feature to keys satisfying `keep`.
+    pub fn filtered(&self, mut keep: impl FnMut(K) -> bool) -> Feature<K> {
+        Feature {
+            entries: self
+                .entries
+                .iter()
+                .copied()
+                .filter(|&(k, _)| keep(k))
+                .collect(),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (model-size experiments).
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(K, Severity)>()
+    }
+}
+
+impl<K: Copy + Ord> AlgebraicSummary for Feature<K> {
+    fn merge_with(&mut self, other: &Self) {
+        *self = self.merge(other);
+    }
+}
+
+impl<K: Copy + Ord> FromIterator<(K, Severity)> for Feature<K> {
+    fn from_iter<I: IntoIterator<Item = (K, Severity)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sf(pairs: &[(u32, u64)]) -> SpatialFeature {
+        pairs
+            .iter()
+            .map(|&(k, s)| (SensorId::new(k), Severity::from_secs(s)))
+            .collect()
+    }
+
+    #[test]
+    fn from_pairs_combines_duplicates() {
+        let f = sf(&[(3, 10), (1, 5), (3, 7)]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(SensorId::new(3)), Severity::from_secs(17));
+        assert_eq!(f.get(SensorId::new(1)), Severity::from_secs(5));
+        assert_eq!(f.get(SensorId::new(9)), Severity::ZERO);
+        assert_eq!(f.total(), Severity::from_secs(22));
+    }
+
+    #[test]
+    fn add_keeps_order() {
+        let mut f = SpatialFeature::new();
+        f.add(SensorId::new(5), Severity::from_secs(1));
+        f.add(SensorId::new(2), Severity::from_secs(2));
+        f.add(SensorId::new(5), Severity::from_secs(3));
+        let keys: Vec<u32> = f.keys().map(|k| k.raw()).collect();
+        assert_eq!(keys, vec![2, 5]);
+        assert_eq!(f.get(SensorId::new(5)), Severity::from_secs(4));
+    }
+
+    #[test]
+    fn merge_matches_paper_example() {
+        // Figure 5 / Example 4 style: CA and CC share sensors s1, s2.
+        let ca = sf(&[(1, 182 * 60), (2, 97 * 60), (3, 33 * 60), (4, 12 * 60)]);
+        let cc = sf(&[(1, 103 * 60), (2, 75 * 60), (7, 54 * 60), (9, 60 * 60)]);
+        let merged = ca.merge(&cc);
+        assert_eq!(merged.len(), 6);
+        assert_eq!(
+            merged.get(SensorId::new(1)),
+            Severity::from_minutes(285.0)
+        );
+        assert_eq!(merged.get(SensorId::new(4)), Severity::from_minutes(12.0));
+        assert_eq!(merged.get(SensorId::new(9)), Severity::from_minutes(60.0));
+        assert_eq!(merged.total(), ca.total() + cc.total());
+    }
+
+    #[test]
+    fn overlap_sums_common_keys_only() {
+        let a = sf(&[(1, 10), (2, 20), (3, 30)]);
+        let b = sf(&[(2, 5), (3, 5), (4, 100)]);
+        let (oa, ob) = a.overlap(&b);
+        assert_eq!(oa, Severity::from_secs(50));
+        assert_eq!(ob, Severity::from_secs(10));
+        let (ba, bb) = b.overlap(&a);
+        assert_eq!((ba, bb), (ob, oa));
+    }
+
+    #[test]
+    fn peak_and_span() {
+        let f = sf(&[(1, 10), (2, 99), (7, 99), (9, 1)]);
+        let (k, s) = f.peak().unwrap();
+        assert_eq!(s, Severity::from_secs(99));
+        assert_eq!(k, SensorId::new(2), "ties break to the smaller key");
+        assert_eq!(
+            f.key_span().unwrap(),
+            (SensorId::new(1), SensorId::new(9))
+        );
+        assert!(SpatialFeature::new().peak().is_none());
+    }
+
+    #[test]
+    fn filtered_keeps_predicate() {
+        let f = sf(&[(1, 10), (2, 20), (3, 30)]);
+        let g = f.filtered(|k| k.raw() % 2 == 1);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.total(), Severity::from_secs(40));
+    }
+
+    proptest! {
+        /// Property 3, per-feature: merge is commutative and associative,
+        /// exactly.
+        #[test]
+        fn prop_merge_commutative_associative(
+            xs in prop::collection::vec((0u32..40, 1u64..1000), 0..30),
+            ys in prop::collection::vec((0u32..40, 1u64..1000), 0..30),
+            zs in prop::collection::vec((0u32..40, 1u64..1000), 0..30),
+        ) {
+            let a = sf(&xs.iter().map(|&(k, s)| (k, s)).collect::<Vec<_>>());
+            let b = sf(&ys.iter().map(|&(k, s)| (k, s)).collect::<Vec<_>>());
+            let c = sf(&zs.iter().map(|&(k, s)| (k, s)).collect::<Vec<_>>());
+            prop_assert_eq!(a.merge(&b), b.merge(&a));
+            prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        }
+
+        /// Property 2: merging preserves the (distributive) total.
+        #[test]
+        fn prop_merge_preserves_total(
+            xs in prop::collection::vec((0u32..40, 1u64..1000), 0..30),
+            ys in prop::collection::vec((0u32..40, 1u64..1000), 0..30),
+        ) {
+            let a = sf(&xs.iter().map(|&(k, s)| (k, s)).collect::<Vec<_>>());
+            let b = sf(&ys.iter().map(|&(k, s)| (k, s)).collect::<Vec<_>>());
+            prop_assert_eq!(a.merge(&b).total(), a.total() + b.total());
+        }
+
+        /// Overlap severities are bounded by each side's total.
+        #[test]
+        fn prop_overlap_bounded(
+            xs in prop::collection::vec((0u32..40, 1u64..1000), 0..30),
+            ys in prop::collection::vec((0u32..40, 1u64..1000), 0..30),
+        ) {
+            let a = sf(&xs.iter().map(|&(k, s)| (k, s)).collect::<Vec<_>>());
+            let b = sf(&ys.iter().map(|&(k, s)| (k, s)).collect::<Vec<_>>());
+            let (oa, ob) = a.overlap(&b);
+            prop_assert!(oa <= a.total());
+            prop_assert!(ob <= b.total());
+        }
+    }
+}

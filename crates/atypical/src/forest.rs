@@ -1,0 +1,353 @@
+//! The atypical forest: hierarchical clustering trees (§III-C).
+//!
+//! Micro-clusters of each day sit at the leaves; macro-clusters are
+//! integrated level by level (day → week → month). Because merging is
+//! commutative and associative (Property 3), a month can be integrated from
+//! its weeks' macro-clusters instead of re-clustering 30 days of micros —
+//! that is the hierarchical speed-up the forest exists for. Multiple
+//! aggregation paths (calendar weeks vs a weekday/weekend split) form the
+//! different *trees* of the forest; which levels are materialized is a
+//! storage/latency trade-off (§IV notes only low levels are usually
+//! pre-computed).
+
+use crate::cluster::AtypicalCluster;
+use crate::integrate::{integrate_aligned, TimeAlignment};
+use cps_core::fx::FxHashMap;
+use cps_core::ids::ClusterIdGen;
+use cps_core::{Params, TimeRange, WindowSpec};
+use std::collections::BTreeMap;
+
+/// Aggregation paths supported by the forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggregationPath {
+    /// day → calendar week → month.
+    Calendar,
+    /// day → {weekday, weekend} groups per week → month.
+    WeekdayWeekend,
+}
+
+/// Partially materialized forest of atypical clusters.
+#[derive(Debug)]
+pub struct AtypicalForest {
+    spec: WindowSpec,
+    params: Params,
+    /// Day-level micro-clusters (always materialized).
+    days: BTreeMap<u32, Vec<AtypicalCluster>>,
+    /// Cached week-level macro-clusters, by week index.
+    weeks: FxHashMap<u32, Vec<AtypicalCluster>>,
+    /// Cached month-level macro-clusters, by month index.
+    months: FxHashMap<u32, Vec<AtypicalCluster>>,
+    ids: ClusterIdGen,
+}
+
+impl AtypicalForest {
+    /// Creates an empty forest.
+    pub fn new(spec: WindowSpec, params: Params) -> Self {
+        Self {
+            spec,
+            params,
+            days: BTreeMap::new(),
+            weeks: FxHashMap::default(),
+            months: FxHashMap::default(),
+            ids: ClusterIdGen::new(1_000_000),
+        }
+    }
+
+    /// The time discretization.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// The clustering parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Integration with the forest's time-of-day alignment (recurring daily
+    /// events at the same clock time integrate across days).
+    fn run_integration(&mut self, inputs: Vec<AtypicalCluster>) -> Vec<AtypicalCluster> {
+        let alignment = TimeAlignment::TimeOfDay {
+            windows_per_day: self.spec.windows_per_day(),
+        };
+        integrate_aligned(inputs, &self.params, alignment, &mut self.ids).0
+    }
+
+    /// Inserts (replaces) the micro-clusters of one day and invalidates the
+    /// cached levels above it.
+    pub fn insert_day(&mut self, day: u32, micros: Vec<AtypicalCluster>) {
+        self.weeks.remove(&(day / 7));
+        self.months.remove(&(day / 30));
+        self.days.insert(day, micros);
+    }
+
+    /// Days present, in order.
+    pub fn days(&self) -> impl Iterator<Item = u32> + '_ {
+        self.days.keys().copied()
+    }
+
+    /// Micro-clusters of one day (empty slice if absent).
+    pub fn day(&self, day: u32) -> &[AtypicalCluster] {
+        self.days.get(&day).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of stored micro-clusters.
+    pub fn num_micro_clusters(&self) -> usize {
+        self.days.values().map(Vec::len).sum()
+    }
+
+    /// Clones all micro-clusters of days `[first, first + n)` — the input
+    /// set an online query starts from.
+    pub fn micros_in_days(&self, first_day: u32, n_days: u32) -> Vec<AtypicalCluster> {
+        self.days
+            .range(first_day..first_day + n_days)
+            .flat_map(|(_, v)| v.iter().cloned())
+            .collect()
+    }
+
+    /// The window range covering days `[first, first + n)`.
+    pub fn day_window_range(&self, first_day: u32, n_days: u32) -> TimeRange {
+        self.spec.day_range(first_day, n_days)
+    }
+
+    /// Week-level macro-clusters (integrated from the week's days,
+    /// memoized).
+    pub fn week(&mut self, week: u32) -> &[AtypicalCluster] {
+        if !self.weeks.contains_key(&week) {
+            let micros = self.micros_in_days(week * 7, 7);
+            let macros = self.run_integration(micros);
+            self.weeks.insert(week, macros);
+        }
+        &self.weeks[&week]
+    }
+
+    /// Month-level macro-clusters, integrated hierarchically from the
+    /// month's (30-day / ~4.3-week) week levels.
+    pub fn month(&mut self, month: u32) -> &[AtypicalCluster] {
+        if !self.months.contains_key(&month) {
+            // A 30-day month spans parts of weeks ⌊30m/7⌋ ..= ⌊(30m+29)/7⌋.
+            // Integrate directly over the month's days grouped through the
+            // week cache where the week lies entirely inside the month, and
+            // raw days otherwise.
+            let first_day = month * 30;
+            let last_day = first_day + 29;
+            let mut inputs: Vec<AtypicalCluster> = Vec::new();
+            let mut day = first_day;
+            while day <= last_day {
+                let week = day / 7;
+                let week_start = week * 7;
+                let week_end = week_start + 6;
+                if week_start >= first_day && week_end <= last_day && day == week_start {
+                    inputs.extend(self.week(week).to_vec());
+                    day = week_end + 1;
+                } else {
+                    inputs.extend(self.day(day).to_vec());
+                    day += 1;
+                }
+            }
+            let macros = self.run_integration(inputs);
+            self.months.insert(month, macros);
+        }
+        &self.months[&month]
+    }
+
+    /// Integrates an arbitrary day range, reusing materialized week levels
+    /// where whole weeks are covered.
+    pub fn integrate_days(&mut self, first_day: u32, n_days: u32) -> Vec<AtypicalCluster> {
+        let last_day = first_day + n_days - 1;
+        let mut inputs: Vec<AtypicalCluster> = Vec::new();
+        let mut day = first_day;
+        while day <= last_day {
+            let week = day / 7;
+            let week_start = week * 7;
+            let week_end = week_start + 6;
+            if day == week_start && week_end <= last_day {
+                inputs.extend(self.week(week).to_vec());
+                day = week_end + 1;
+            } else {
+                inputs.extend(self.day(day).to_vec());
+                day += 1;
+            }
+        }
+        self.run_integration(inputs)
+    }
+
+    /// Integrates a day range along an aggregation path. The
+    /// weekday/weekend path returns `(weekday macros, weekend macros)` —
+    /// two separate trees of the forest over the same leaves.
+    pub fn integrate_by_path(
+        &mut self,
+        first_day: u32,
+        n_days: u32,
+        path: AggregationPath,
+    ) -> Vec<(String, Vec<AtypicalCluster>)> {
+        match path {
+            AggregationPath::Calendar => {
+                vec![(
+                    "calendar".to_string(),
+                    self.integrate_days(first_day, n_days),
+                )]
+            }
+            AggregationPath::WeekdayWeekend => {
+                let mut weekday = Vec::new();
+                let mut weekend = Vec::new();
+                for day in first_day..first_day + n_days {
+                    let start = cps_core::TimeWindow::new(day * self.spec.windows_per_day());
+                    let bucket = if self.spec.is_weekend(start) {
+                        &mut weekend
+                    } else {
+                        &mut weekday
+                    };
+                    bucket.extend(self.day(day).to_vec());
+                }
+                let weekday_macros = self.run_integration(weekday);
+                let weekend_macros = self.run_integration(weekend);
+                vec![
+                    ("weekday".to_string(), weekday_macros),
+                    ("weekend".to_string(), weekend_macros),
+                ]
+            }
+        }
+    }
+
+    /// Approximate memory footprint of the materialized forest (Figure 16's
+    /// `AC` series counts the micro-cluster level).
+    pub fn approx_bytes(&self) -> usize {
+        self.days
+            .values()
+            .flat_map(|v| v.iter())
+            .map(AtypicalCluster::approx_bytes)
+            .sum()
+    }
+
+    /// Borrows the id generator (query engines allocate merge ids from the
+    /// same sequence for reproducibility).
+    pub fn id_gen(&mut self) -> &mut ClusterIdGen {
+        &mut self.ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{SpatialFeature, TemporalFeature};
+    use cps_core::{ClusterId, SensorId, Severity, TimeWindow};
+
+    /// A micro-cluster at (sensor block, one window of `day`).
+    fn micro(id: u64, day: u32, base_sensor: u32) -> AtypicalCluster {
+        let spec = WindowSpec::PEMS;
+        let w = day * spec.windows_per_day() + 100;
+        let sf: SpatialFeature = (base_sensor..base_sensor + 3)
+            .map(|s| (SensorId::new(s), Severity::from_minutes(10.0)))
+            .collect();
+        let tf: TemporalFeature = (w..w + 3)
+            .map(|t| (TimeWindow::new(t), Severity::from_minutes(10.0)))
+            .collect();
+        AtypicalCluster::new(ClusterId::new(id), sf, tf)
+    }
+
+    fn forest_with_days(n_days: u32) -> AtypicalForest {
+        let mut f = AtypicalForest::new(WindowSpec::PEMS, Params::paper_defaults());
+        for day in 0..n_days {
+            // Two micros per day: a recurring one at sensors 0.. and a
+            // roaming one.
+            f.insert_day(day, vec![micro(u64::from(day) * 2, day, 0), micro(u64::from(day) * 2 + 1, day, 20 + day * 5)]);
+        }
+        f
+    }
+
+    #[test]
+    fn day_storage_roundtrip() {
+        let f = forest_with_days(3);
+        assert_eq!(f.days().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(f.day(1).len(), 2);
+        assert_eq!(f.day(9).len(), 0);
+        assert_eq!(f.num_micro_clusters(), 6);
+        assert_eq!(f.micros_in_days(0, 2).len(), 4);
+        assert!(f.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn week_level_is_memoized() {
+        let mut f = forest_with_days(7);
+        let w0 = f.week(0).to_vec();
+        let w0_again = f.week(0).to_vec();
+        assert_eq!(w0, w0_again);
+        assert!(!w0.is_empty());
+    }
+
+    #[test]
+    fn week_level_merges_recurring_but_not_roaming_micros() {
+        // The recurring micro (same sensors, same clock windows every day)
+        // integrates across the week under time-of-day alignment; the
+        // roaming micro moves 5 sensors per day, so spatial similarity is 0
+        // and ½(0 + 1) = 0.5 does not clear the strict δsim = 0.5.
+        let mut f = forest_with_days(7);
+        let week = f.week(0);
+        assert_eq!(week.len(), 8, "1 merged recurring + 7 roaming");
+        let merged = week.iter().find(|c| c.merged_count == 7);
+        assert!(merged.is_some(), "recurring event must integrate");
+    }
+
+    #[test]
+    fn lower_delta_sim_merges_recurring_events() {
+        let params = Params::paper_defaults().with_delta_sim(0.4);
+        let mut f = AtypicalForest::new(WindowSpec::PEMS, params);
+        for day in 0..7 {
+            f.insert_day(day, vec![micro(u64::from(day), day, 0)]);
+        }
+        let week = f.week(0);
+        assert_eq!(week.len(), 1, "recurring event should integrate");
+        assert_eq!(week[0].merged_count, 7);
+    }
+
+    #[test]
+    fn insert_invalidates_caches() {
+        let mut f = forest_with_days(7);
+        let before = f.week(0).len(); // 8: merged recurring + 7 roaming
+        f.insert_day(3, vec![]);
+        let after = f.week(0).len(); // 7: merged recurring (6 days) + 6 roaming
+        assert_eq!(after, before - 1);
+    }
+
+    #[test]
+    fn integrate_days_covers_partial_weeks() {
+        let mut f = forest_with_days(20);
+        // Days 5..15 cover a partial week, a full week, a partial week.
+        let out = f.integrate_days(5, 10);
+        let merged: u32 = out.iter().map(|c| c.merged_count).sum();
+        assert_eq!(merged, 20, "every micro in range accounted once");
+    }
+
+    #[test]
+    fn month_uses_weeks_and_accounts_all_micros() {
+        let mut f = forest_with_days(30);
+        let month = f.month(0).to_vec();
+        let merged: u32 = month.iter().map(|c| c.merged_count).sum();
+        assert_eq!(merged, 60);
+    }
+
+    #[test]
+    fn weekday_weekend_path_splits_leaves() {
+        let mut f = forest_with_days(14);
+        let parts = f.integrate_by_path(0, 14, AggregationPath::WeekdayWeekend);
+        assert_eq!(parts.len(), 2);
+        let weekday_micros: u32 = parts[0].1.iter().map(|c| c.merged_count).sum();
+        let weekend_micros: u32 = parts[1].1.iter().map(|c| c.merged_count).sum();
+        assert_eq!(weekday_micros, 20); // 10 weekdays × 2
+        assert_eq!(weekend_micros, 8); // 4 weekend days × 2
+        let calendar = f.integrate_by_path(0, 14, AggregationPath::Calendar);
+        assert_eq!(calendar.len(), 1);
+    }
+
+    #[test]
+    fn hierarchical_integration_matches_flat_severity() {
+        let mut f = forest_with_days(14);
+        let flat: Severity = f
+            .micros_in_days(0, 14)
+            .iter()
+            .map(|c| c.severity())
+            .sum();
+        let hier: Severity = f.integrate_days(0, 14).iter().map(|c| c.severity()).sum();
+        assert_eq!(flat, hier, "severity is conserved through the hierarchy");
+    }
+}

@@ -1,0 +1,317 @@
+//! Online (streaming) event extraction.
+//!
+//! The abstract promises "scalable, flexible and **online** analysis". The
+//! offline pipeline (Algorithm 1) assumes a day's records are all on disk;
+//! this module maintains atypical events *as records arrive*, window by
+//! window:
+//!
+//! * records are appended in non-decreasing window order,
+//! * an incoming record joins every open event containing a record within
+//!   `δd`/`δt` (Definition 1); if it bridges several, those events merge
+//!   (the relation is transitive — Definition 2);
+//! * an open event with no record within `δt` of the current window can
+//!   never gain another member, so it is **sealed** and its micro-cluster
+//!   emitted immediately — the analyst sees a finished congestion minutes
+//!   after it dissipates, not at end-of-day.
+//!
+//! The emitted micro-clusters are identical to the batch pipeline's (tested
+//! against it), so the forest can be fed from a live stream.
+
+use crate::cluster::AtypicalCluster;
+use crate::event::AtypicalEvent;
+use cps_core::fx::FxHashMap;
+use cps_core::ids::ClusterIdGen;
+use cps_core::{AtypicalRecord, Params, SensorId, TimeWindow, WindowSpec};
+use cps_geo::RoadNetwork;
+use cps_index::st_index::max_gap_windows;
+
+/// An event still open for extension.
+#[derive(Debug)]
+struct OpenEvent {
+    records: Vec<AtypicalRecord>,
+    /// Most recent window per member sensor — the only part of the frontier
+    /// a new record can relate to.
+    frontier: FxHashMap<SensorId, TimeWindow>,
+    /// Largest window seen (for sealing).
+    last_window: TimeWindow,
+}
+
+impl OpenEvent {
+    fn new(record: AtypicalRecord) -> Self {
+        let mut frontier = FxHashMap::default();
+        frontier.insert(record.sensor, record.window);
+        Self {
+            records: vec![record],
+            frontier,
+            last_window: record.window,
+        }
+    }
+
+    fn push(&mut self, record: AtypicalRecord) {
+        let slot = self.frontier.entry(record.sensor).or_insert(record.window);
+        if record.window > *slot {
+            *slot = record.window;
+        }
+        if record.window > self.last_window {
+            self.last_window = record.window;
+        }
+        self.records.push(record);
+    }
+
+    fn absorb(&mut self, other: OpenEvent) {
+        for (sensor, window) in other.frontier {
+            let slot = self.frontier.entry(sensor).or_insert(window);
+            if window > *slot {
+                *slot = window;
+            }
+        }
+        if other.last_window > self.last_window {
+            self.last_window = other.last_window;
+        }
+        self.records.extend(other.records);
+    }
+}
+
+/// Streaming extractor: push records in window order, take sealed
+/// micro-clusters out as they finish.
+pub struct OnlineExtractor<'a> {
+    network: &'a RoadNetwork,
+    params: Params,
+    max_gap: u32,
+    open: Vec<OpenEvent>,
+    sealed: Vec<AtypicalCluster>,
+    ids: ClusterIdGen,
+    current_window: TimeWindow,
+    /// δd neighbourhoods, resolved lazily per sensor.
+    neighborhoods: FxHashMap<SensorId, Vec<SensorId>>,
+}
+
+impl<'a> OnlineExtractor<'a> {
+    /// Creates an extractor for a deployment.
+    pub fn new(network: &'a RoadNetwork, params: Params, spec: WindowSpec) -> Self {
+        Self {
+            network,
+            params,
+            max_gap: max_gap_windows(&params, spec),
+            open: Vec::new(),
+            sealed: Vec::new(),
+            ids: ClusterIdGen::new(1),
+            current_window: TimeWindow::new(0),
+            neighborhoods: FxHashMap::default(),
+        }
+    }
+
+    fn neighborhood(&mut self, sensor: SensorId) -> &[SensorId] {
+        let network = self.network;
+        let delta_d = self.params.delta_d_miles;
+        self.neighborhoods.entry(sensor).or_insert_with(|| {
+            let mut near = network.sensors_near(sensor, delta_d);
+            near.push(sensor);
+            near
+        })
+    }
+
+    /// Feeds one record. Records must arrive in non-decreasing window
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if `record.window` precedes a previously pushed window.
+    pub fn push(&mut self, record: AtypicalRecord) {
+        assert!(
+            record.window >= self.current_window,
+            "records must be pushed in window order"
+        );
+        self.advance_to(record.window);
+
+        // Find every open event this record relates to: it must contain a
+        // frontier entry for a δd-near sensor within δt.
+        let near: Vec<SensorId> = self.neighborhood(record.sensor).to_vec();
+        let mut hits: Vec<usize> = Vec::new();
+        for (i, event) in self.open.iter().enumerate() {
+            let related = near.iter().any(|s| {
+                event
+                    .frontier
+                    .get(s)
+                    .is_some_and(|w| record.window.gap(*w) <= self.max_gap)
+            });
+            if related {
+                hits.push(i);
+            }
+        }
+        match hits.as_slice() {
+            [] => self.open.push(OpenEvent::new(record)),
+            [first, rest @ ..] => {
+                // Merge every hit into the first (drain from the back so
+                // indices stay valid), then add the record.
+                for &i in rest.iter().rev() {
+                    let absorbed = self.open.swap_remove(i);
+                    self.open[*first].absorb(absorbed);
+                }
+                self.open[*first].push(record);
+            }
+        }
+    }
+
+    /// Advances the clock, sealing events that can no longer grow.
+    pub fn advance_to(&mut self, window: TimeWindow) {
+        if window > self.current_window {
+            self.current_window = window;
+        }
+        let max_gap = self.max_gap;
+        let current = self.current_window;
+        let mut i = 0;
+        while i < self.open.len() {
+            if current.gap(self.open[i].last_window) > max_gap {
+                let done = self.open.swap_remove(i);
+                self.seal(done);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn seal(&mut self, mut event: OpenEvent) {
+        if (event.records.len() as u32) < self.params.min_event_records {
+            return; // trustworthiness filter, as in the batch pipeline
+        }
+        event
+            .records
+            .sort_unstable_by_key(|r| (r.window, r.sensor));
+        let event = AtypicalEvent::new(event.records);
+        self.sealed
+            .push(AtypicalCluster::from_event(self.ids.next_id(), &event));
+    }
+
+    /// Takes the micro-clusters sealed so far.
+    pub fn drain_sealed(&mut self) -> Vec<AtypicalCluster> {
+        std::mem::take(&mut self.sealed)
+    }
+
+    /// Number of events still open.
+    pub fn open_events(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Seals everything (end of stream) and returns all remaining
+    /// micro-clusters.
+    pub fn finish(mut self) -> Vec<AtypicalCluster> {
+        let open = std::mem::take(&mut self.open);
+        for event in open {
+            self.seal(event);
+        }
+        self.sealed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::build_forest_from_records;
+    use cps_core::Severity;
+    use cps_sim::{Scale, SimConfig, TrafficSim};
+
+    fn sorted_key(c: &AtypicalCluster) -> (TimeWindow, usize, Severity) {
+        (c.time_range().start, c.sensor_count(), c.severity())
+    }
+
+    #[test]
+    fn streaming_matches_batch_extraction() {
+        let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 42));
+        let params = Params::paper_defaults();
+        let spec = sim.config().spec;
+        let mut records = sim.atypical_day(0);
+        records.sort_unstable_by_key(|r| (r.window, r.sensor));
+
+        let mut online = OnlineExtractor::new(sim.network(), params, spec);
+        for r in &records {
+            online.push(*r);
+        }
+        let mut streamed = online.finish();
+
+        let batch = build_forest_from_records(
+            vec![(0, records)],
+            sim.network(),
+            &params,
+            spec,
+        );
+        let mut batched = batch.forest.day(0).to_vec();
+
+        streamed.sort_by_key(sorted_key);
+        batched.sort_by_key(sorted_key);
+        assert_eq!(streamed.len(), batched.len());
+        for (s, b) in streamed.iter().zip(&batched) {
+            assert_eq!(s.sf, b.sf);
+            assert_eq!(s.tf, b.tf);
+        }
+    }
+
+    #[test]
+    fn events_seal_as_soon_as_they_expire() {
+        let net = TrafficSim::new(SimConfig::new(Scale::Tiny, 1));
+        let params = Params::paper_defaults();
+        let spec = net.config().spec;
+        let mut online = OnlineExtractor::new(net.network(), params, spec);
+        let rec = |s: u32, w: u32| {
+            AtypicalRecord::new(SensorId::new(s), TimeWindow::new(w), Severity::from_secs(120))
+        };
+        online.push(rec(0, 100));
+        online.push(rec(1, 101));
+        assert_eq!(online.open_events(), 1);
+        assert!(online.drain_sealed().is_empty());
+        // Advance past δt: the event can no longer grow and seals.
+        online.advance_to(TimeWindow::new(105));
+        let sealed = online.drain_sealed();
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].sensor_count(), 2);
+        assert_eq!(online.open_events(), 0);
+    }
+
+    #[test]
+    fn bridging_record_merges_open_events() {
+        let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 1));
+        let params = Params::paper_defaults();
+        let spec = sim.config().spec;
+        let mut online = OnlineExtractor::new(sim.network(), params, spec);
+        let rec = |s: u32, w: u32| {
+            AtypicalRecord::new(SensorId::new(s), TimeWindow::new(w), Severity::from_secs(120))
+        };
+        // Two separate events (sensors 0 and 4 are ~2 miles apart on the
+        // same highway — beyond δd), then sensor 2 bridges them.
+        online.push(rec(0, 100));
+        online.push(rec(4, 100));
+        assert_eq!(online.open_events(), 2);
+        online.push(rec(2, 101));
+        assert_eq!(online.open_events(), 1);
+        let all = online.finish();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].sensor_count(), 3);
+    }
+
+    #[test]
+    fn trust_filter_applies_to_sealed_events() {
+        let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 1));
+        let params = Params::paper_defaults(); // min_event_records = 2
+        let spec = sim.config().spec;
+        let mut online = OnlineExtractor::new(sim.network(), params, spec);
+        online.push(AtypicalRecord::new(
+            SensorId::new(0),
+            TimeWindow::new(100),
+            Severity::from_secs(60),
+        ));
+        let out = online.finish();
+        assert!(out.is_empty(), "singleton must be dropped");
+    }
+
+    #[test]
+    #[should_panic(expected = "window order")]
+    fn out_of_order_push_panics() {
+        let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 1));
+        let params = Params::paper_defaults();
+        let mut online = OnlineExtractor::new(sim.network(), params, sim.config().spec);
+        let rec = |w: u32| {
+            AtypicalRecord::new(SensorId::new(0), TimeWindow::new(w), Severity::from_secs(60))
+        };
+        online.push(rec(100));
+        online.push(rec(99));
+    }
+}

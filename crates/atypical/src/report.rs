@@ -1,0 +1,243 @@
+//! Analyst reports: structured answers to the paper's motivating questions.
+//!
+//! Example 1 asks: *(1) Where do the traffic congestions usually happen in
+//! the city? (2) When and how do they start? (3) On which road segment (or
+//! time period) is the congestion most serious?* — and notes the user wants
+//! them "summarized and analytical …, integrated in the unit of atypical
+//! event", not thousands of raw rows. [`ClusterReport`] is that unit of
+//! answer, derived from one (macro-)cluster; [`AnalysisReport`] collects the
+//! significant ones for a query.
+
+use crate::cluster::AtypicalCluster;
+use crate::query::QueryResult;
+use cps_core::{SensorId, Severity, TimeWindow, WindowSpec};
+use serde::Serialize;
+
+/// Structured summary of one atypical cluster.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterReport {
+    /// Cluster id.
+    pub id: String,
+    /// Total severity in minutes.
+    pub severity_minutes: f64,
+    /// Sensors covered (answers *where*).
+    pub sensor_count: usize,
+    /// The `k` most severe sensors, worst first (answers *which segment*).
+    pub worst_sensors: Vec<(SensorId, Severity)>,
+    /// First affected window (answers *when it starts*).
+    pub onset: Option<TimeWindow>,
+    /// Onset clock label, e.g. `"07:50"`.
+    pub onset_clock: Option<String>,
+    /// Severity in the onset window (answers *how it starts*).
+    pub onset_severity: Option<Severity>,
+    /// Window with the widest impact (answers *which time period*).
+    pub peak_window: Option<TimeWindow>,
+    /// Peak window clock label.
+    pub peak_clock: Option<String>,
+    /// Distinct days the cluster spans.
+    pub days_covered: usize,
+    /// Micro-clusters merged in.
+    pub merged_from: u32,
+}
+
+impl ClusterReport {
+    /// Builds the report for one cluster.
+    pub fn of(cluster: &AtypicalCluster, spec: WindowSpec, k_worst: usize) -> Self {
+        let mut worst: Vec<(SensorId, Severity)> = cluster.sf.iter().collect();
+        worst.sort_by_key(|&(s, sev)| (std::cmp::Reverse(sev), s));
+        worst.truncate(k_worst);
+        let onset = cluster.onset();
+        let peak = cluster.most_serious_window();
+        let days: std::collections::BTreeSet<u32> =
+            cluster.tf.keys().map(|w| spec.day_of(w)).collect();
+        Self {
+            id: cluster.id.to_string(),
+            severity_minutes: cluster.severity().as_minutes(),
+            sensor_count: cluster.sensor_count(),
+            worst_sensors: worst,
+            onset: onset.map(|(w, _)| w),
+            onset_clock: onset.map(|(w, _)| spec.clock_label(w)),
+            onset_severity: onset.map(|(_, s)| s),
+            peak_window: peak.map(|(w, _)| w),
+            peak_clock: peak.map(|(w, _)| spec.clock_label(w)),
+            days_covered: days.len(),
+            merged_from: cluster.merged_count,
+        }
+    }
+}
+
+/// The full answer to one analytical query: the significant clusters,
+/// reported worst-first, plus the query's bookkeeping.
+#[derive(Clone, Debug, Serialize)]
+pub struct AnalysisReport {
+    /// Strategy that produced the result.
+    pub strategy: String,
+    /// Significance threshold applied, minutes.
+    pub threshold_minutes: f64,
+    /// Reports for the significant clusters, most severe first.
+    pub clusters: Vec<ClusterReport>,
+    /// Macro-clusters generated in total (incl. trivial ones).
+    pub total_macro_clusters: usize,
+    /// Micro-clusters fed into integration.
+    pub input_clusters: usize,
+    /// Query wall-clock, seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl AnalysisReport {
+    /// Builds the report from a query result.
+    pub fn of(result: &QueryResult, spec: WindowSpec) -> Self {
+        let mut significant: Vec<&AtypicalCluster> = result.significant();
+        significant.sort_by_key(|c| std::cmp::Reverse(c.severity()));
+        Self {
+            strategy: result.strategy.label().to_string(),
+            threshold_minutes: result.threshold.as_minutes(),
+            clusters: significant
+                .iter()
+                .map(|c| ClusterReport::of(c, spec, 5))
+                .collect(),
+            total_macro_clusters: result.macros.len(),
+            input_clusters: result.input_clusters,
+            elapsed_seconds: result.elapsed.as_secs_f64(),
+        }
+    }
+
+    /// Renders the report as human-readable text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} significant cluster(s) [{}], threshold {:.0} min, \
+             {} macro-clusters from {} inputs in {:.3}s",
+            self.clusters.len(),
+            self.strategy,
+            self.threshold_minutes,
+            self.total_macro_clusters,
+            self.input_clusters,
+            self.elapsed_seconds,
+        );
+        for (rank, c) in self.clusters.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "#{} {}: {:.0} min over {} sensors, {} day(s), from {} events",
+                rank + 1,
+                c.id,
+                c.severity_minutes,
+                c.sensor_count,
+                c.days_covered,
+                c.merged_from,
+            );
+            if let (Some(clock), Some(sev)) = (&c.onset_clock, c.onset_severity) {
+                let _ = writeln!(out, "   starts ~{clock} ({sev} in the first window)");
+            }
+            if let Some(peak) = &c.peak_clock {
+                let _ = writeln!(out, "   peak period around {peak}");
+            }
+            if let Some(&(sensor, sev)) = c.worst_sensors.first() {
+                let _ = writeln!(out, "   most serious segment: {sensor} ({sev})");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{SpatialFeature, TemporalFeature};
+    use crate::integrate::IntegrationStats;
+    use crate::query::Strategy;
+    use cps_core::{ClusterId, TimeRange};
+
+    fn cluster(id: u64) -> AtypicalCluster {
+        let sf: SpatialFeature = [
+            (SensorId::new(1), Severity::from_minutes(100.0)),
+            (SensorId::new(2), Severity::from_minutes(300.0)),
+            (SensorId::new(3), Severity::from_minutes(50.0)),
+        ]
+        .into_iter()
+        .collect();
+        let tf: TemporalFeature = [
+            (TimeWindow::new(97), Severity::from_minutes(50.0)),   // day 0, 08:05
+            (TimeWindow::new(98), Severity::from_minutes(250.0)),  // day 0, 08:10
+            (TimeWindow::new(385), Severity::from_minutes(150.0)), // day 1
+        ]
+        .into_iter()
+        .collect();
+        AtypicalCluster::new(ClusterId::new(id), sf, tf)
+    }
+
+    #[test]
+    fn cluster_report_answers_the_three_questions() {
+        let spec = WindowSpec::PEMS;
+        let r = ClusterReport::of(&cluster(9), spec, 2);
+        // Where: coverage + worst segments.
+        assert_eq!(r.sensor_count, 3);
+        assert_eq!(r.worst_sensors[0].0, SensorId::new(2));
+        assert_eq!(r.worst_sensors.len(), 2);
+        // When/how it starts.
+        assert_eq!(r.onset, Some(TimeWindow::new(97)));
+        assert_eq!(r.onset_clock.as_deref(), Some("08:05"));
+        assert_eq!(r.onset_severity, Some(Severity::from_minutes(50.0)));
+        // Most serious period.
+        assert_eq!(r.peak_window, Some(TimeWindow::new(98)));
+        assert_eq!(r.days_covered, 2);
+        assert_eq!(r.severity_minutes, 450.0);
+    }
+
+    #[test]
+    fn analysis_report_sorts_and_renders() {
+        let spec = WindowSpec::PEMS;
+        let small = {
+            let sf: SpatialFeature =
+                std::iter::once((SensorId::new(9), Severity::from_minutes(400.0))).collect();
+            let tf: TemporalFeature =
+                std::iter::once((TimeWindow::new(5), Severity::from_minutes(400.0))).collect();
+            AtypicalCluster::new(ClusterId::new(2), sf, tf)
+        };
+        let result = QueryResult {
+            strategy: Strategy::Gui,
+            macros: vec![small, cluster(1)],
+            candidate_clusters: 10,
+            input_clusters: 6,
+            num_red_regions: Some(2),
+            threshold: Severity::from_minutes(100.0),
+            n_sensors: 50,
+            range: TimeRange::new(TimeWindow::new(0), TimeWindow::new(576)),
+            elapsed: std::time::Duration::from_millis(12),
+            integration: IntegrationStats::default(),
+            final_check_removed: 0,
+        };
+        let report = AnalysisReport::of(&result, spec);
+        assert_eq!(report.clusters.len(), 2);
+        assert!(report.clusters[0].severity_minutes >= report.clusters[1].severity_minutes);
+        let text = report.render();
+        assert!(text.contains("2 significant cluster(s) [Gui]"));
+        assert!(text.contains("most serious segment"));
+        // JSON-serializable for dashboards.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"strategy\":\"Gui\""));
+    }
+
+    #[test]
+    fn empty_result_reports_cleanly() {
+        let spec = WindowSpec::PEMS;
+        let result = QueryResult {
+            strategy: Strategy::All,
+            macros: vec![],
+            candidate_clusters: 0,
+            input_clusters: 0,
+            num_red_regions: None,
+            threshold: Severity::from_minutes(1.0),
+            n_sensors: 1,
+            range: TimeRange::EMPTY,
+            elapsed: std::time::Duration::ZERO,
+            integration: IntegrationStats::default(),
+            final_check_removed: 0,
+        };
+        let report = AnalysisReport::of(&result, spec);
+        assert!(report.clusters.is_empty());
+        assert!(report.render().contains("0 significant cluster(s)"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Significant clusters (Definition 5).
+//!
+//! A cluster is *significant* for query `Q(W, T)` when
+//! `severity(C) > δs · length(T) · N`, with `length(T)` the number of time
+//! windows in `T` and `N` the number of sensors in `W`. The threshold is
+//! relative: it scales with both the query's temporal extent and spatial
+//! scope, so "significant for a day" and "significant for a month" mean
+//! proportionally different things (the paper's discussion under
+//! Definition 5).
+//!
+//! Unit note: severity is measured in minutes (atypical duration) while
+//! `length(T)` counts windows, matching the magnitudes the paper reports
+//! (e.g. Figure 21's ~10⁶-minute monthly significant clusters against
+//! `δs·8640·4000`-minute thresholds).
+
+use crate::cluster::AtypicalCluster;
+use cps_core::{Params, Severity, TimeRange};
+
+/// The significance threshold `δs · length(T) · N`, in severity units.
+pub fn significance_threshold(params: &Params, range: TimeRange, n_sensors: u32) -> Severity {
+    Severity::from_minutes(params.delta_s * f64::from(range.len()) * f64::from(n_sensors))
+}
+
+/// Whether `cluster` is significant for a query over `range` and
+/// `n_sensors` (Definition 5).
+pub fn is_significant(
+    cluster: &AtypicalCluster,
+    params: &Params,
+    range: TimeRange,
+    n_sensors: u32,
+) -> bool {
+    cluster.severity() > significance_threshold(params, range, n_sensors)
+}
+
+/// Splits clusters into `(significant, trivial)` for the given query scale.
+pub fn partition_significant(
+    clusters: Vec<AtypicalCluster>,
+    params: &Params,
+    range: TimeRange,
+    n_sensors: u32,
+) -> (Vec<AtypicalCluster>, Vec<AtypicalCluster>) {
+    let threshold = significance_threshold(params, range, n_sensors);
+    clusters
+        .into_iter()
+        .partition(|c| c.severity() > threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{SpatialFeature, TemporalFeature};
+    use cps_core::{ClusterId, SensorId, TimeWindow, WindowSpec};
+
+    fn cluster_with_severity(minutes: f64) -> AtypicalCluster {
+        let sf: SpatialFeature =
+            std::iter::once((SensorId::new(1), Severity::from_minutes(minutes))).collect();
+        let tf: TemporalFeature =
+            std::iter::once((TimeWindow::new(1), Severity::from_minutes(minutes))).collect();
+        AtypicalCluster::new(ClusterId::new(1), sf, tf)
+    }
+
+    #[test]
+    fn threshold_scales_with_range_and_sensors() {
+        let p = Params::paper_defaults(); // δs = 5 %
+        let spec = WindowSpec::PEMS;
+        let day = spec.day_range(0, 1);
+        let week = spec.day_range(0, 7);
+        let t_day = significance_threshold(&p, day, 100);
+        let t_week = significance_threshold(&p, week, 100);
+        assert_eq!(t_day, Severity::from_minutes(0.05 * 288.0 * 100.0));
+        assert_eq!(t_week.as_secs(), 7 * t_day.as_secs());
+        let t_more_sensors = significance_threshold(&p, day, 200);
+        assert_eq!(t_more_sensors.as_secs(), 2 * t_day.as_secs());
+    }
+
+    #[test]
+    fn significance_is_strict_inequality() {
+        let p = Params::paper_defaults();
+        let spec = WindowSpec::PEMS;
+        let day = spec.day_range(0, 1);
+        let threshold_min = 0.05 * 288.0 * 10.0;
+        let at = cluster_with_severity(threshold_min);
+        let above = cluster_with_severity(threshold_min + 1.0);
+        assert!(!is_significant(&at, &p, day, 10));
+        assert!(is_significant(&above, &p, day, 10));
+    }
+
+    #[test]
+    fn partition_splits_correctly() {
+        let p = Params::paper_defaults();
+        let spec = WindowSpec::PEMS;
+        let day = spec.day_range(0, 1);
+        let clusters = vec![
+            cluster_with_severity(10.0),
+            cluster_with_severity(100_000.0),
+            cluster_with_severity(20.0),
+        ];
+        let (sig, trivial) = partition_significant(clusters, &p, day, 10);
+        assert_eq!(sig.len(), 1);
+        assert_eq!(trivial.len(), 2);
+        assert_eq!(sig[0].severity(), Severity::from_minutes(100_000.0));
+    }
+
+    #[test]
+    fn monthly_cluster_insignificant_at_month_scale_unless_huge() {
+        let p = Params::paper_defaults();
+        let spec = WindowSpec::PEMS;
+        let month = spec.day_range(0, 30);
+        // A strong daily event (2,000 min) is significant for its day with
+        // 100 sensors…
+        let daily = cluster_with_severity(2_000.0);
+        assert!(is_significant(&daily, &p, spec.day_range(0, 1), 100));
+        // …but not for the month.
+        assert!(!is_significant(&daily, &p, month, 100));
+        // Twenty-five recurrences are significant for the month.
+        let monthly = cluster_with_severity(2_000.0 * 25.0);
+        assert!(is_significant(&monthly, &p, month, 100));
+    }
+}

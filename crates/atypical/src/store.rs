@@ -1,0 +1,351 @@
+//! On-disk materialization of the atypical forest.
+//!
+//! §IV: *"In practical applications we do not pre-compute the entire
+//! atypical forest due to storage limits. In most cases only the
+//! micro-clusters and some low level macro-clusters are pre-computed."*
+//! This module is that persistence layer: cluster sets are written as
+//! CRC-checked binary files, one per (level, bucket) — e.g. the
+//! micro-clusters of day 17 or the macro-clusters of week 3 — and loaded
+//! on demand when a query touches the bucket.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! file    := magic "ACF1" | count u32 | crc u32 | cluster*
+//! cluster := id u64 | merged u32 | |SF| u32 | |TF| u32
+//!            (sensor u32, severity u64)^|SF|
+//!            (window u32, severity u64)^|TF|
+//! ```
+
+use crate::cluster::AtypicalCluster;
+use crate::feature::{SpatialFeature, TemporalFeature};
+use bytes::{Buf, BufMut};
+use cps_core::{ClusterId, CpsError, Result, SensorId, Severity, TimeWindow};
+use cps_storage::crc::crc32;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: [u8; 4] = *b"ACF1";
+
+/// Encodes one cluster into `buf`.
+fn encode_cluster(c: &AtypicalCluster, buf: &mut Vec<u8>) {
+    buf.put_u64_le(c.id.raw());
+    buf.put_u32_le(c.merged_count);
+    buf.put_u32_le(c.sf.len() as u32);
+    buf.put_u32_le(c.tf.len() as u32);
+    for (s, sev) in c.sf.iter() {
+        buf.put_u32_le(s.raw());
+        buf.put_u64_le(sev.as_secs());
+    }
+    for (w, sev) in c.tf.iter() {
+        buf.put_u32_le(w.raw());
+        buf.put_u64_le(sev.as_secs());
+    }
+}
+
+/// Decodes one cluster, advancing `buf`.
+fn decode_cluster(buf: &mut &[u8]) -> Result<AtypicalCluster> {
+    if buf.remaining() < 20 {
+        return Err(CpsError::corrupt("cluster file", "truncated cluster header"));
+    }
+    let id = ClusterId::new(buf.get_u64_le());
+    let merged_count = buf.get_u32_le();
+    let sf_len = buf.get_u32_le() as usize;
+    let tf_len = buf.get_u32_le() as usize;
+    if buf.remaining() < (sf_len + tf_len) * 12 {
+        return Err(CpsError::corrupt("cluster file", "truncated feature data"));
+    }
+    let mut sf_pairs = Vec::with_capacity(sf_len);
+    for _ in 0..sf_len {
+        let s = SensorId::new(buf.get_u32_le());
+        let sev = Severity::from_secs(buf.get_u64_le());
+        sf_pairs.push((s, sev));
+    }
+    let mut tf_pairs = Vec::with_capacity(tf_len);
+    for _ in 0..tf_len {
+        let w = TimeWindow::new(buf.get_u32_le());
+        let sev = Severity::from_secs(buf.get_u64_le());
+        tf_pairs.push((w, sev));
+    }
+    let sf: SpatialFeature = sf_pairs.into_iter().collect();
+    let tf: TemporalFeature = tf_pairs.into_iter().collect();
+    if sf.total() != tf.total() {
+        return Err(CpsError::corrupt(
+            "cluster file",
+            format!("cluster {id}: SF/TF totals disagree"),
+        ));
+    }
+    let mut cluster = AtypicalCluster::new(id, sf, tf);
+    cluster.merged_count = merged_count;
+    Ok(cluster)
+}
+
+/// Writes a cluster set to `path` (atomically via a temp file + rename).
+pub fn write_clusters(path: &Path, clusters: &[AtypicalCluster]) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut payload = Vec::new();
+    for c in clusters {
+        encode_cluster(c, &mut payload);
+    }
+    let mut header = Vec::with_capacity(12);
+    header.put_slice(&MAGIC);
+    header.put_u32_le(clusters.len() as u32);
+    header.put_u32_le(crc32(&payload));
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&header)?;
+        f.write_all(&payload)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a cluster set from `path`, verifying the checksum.
+pub fn read_clusters(path: &Path) -> Result<Vec<AtypicalCluster>> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    if raw.len() < 12 || raw[..4] != MAGIC {
+        return Err(CpsError::corrupt(
+            path.display().to_string(),
+            "bad magic or truncated header",
+        ));
+    }
+    let mut header = &raw[4..12];
+    let count = header.get_u32_le() as usize;
+    let expected_crc = header.get_u32_le();
+    let payload = &raw[12..];
+    if crc32(payload) != expected_crc {
+        return Err(CpsError::corrupt(
+            path.display().to_string(),
+            "checksum mismatch",
+        ));
+    }
+    let mut buf = payload;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(decode_cluster(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(CpsError::corrupt(
+            path.display().to_string(),
+            "trailing bytes after last cluster",
+        ));
+    }
+    Ok(out)
+}
+
+/// A forest level that can be materialized (mirrors the aggregation
+/// hierarchy of §III-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ForestLevel {
+    /// Day-level micro-clusters.
+    Day,
+    /// Week-level macro-clusters.
+    Week,
+    /// Month-level macro-clusters.
+    Month,
+}
+
+impl ForestLevel {
+    fn prefix(self) -> &'static str {
+        match self {
+            ForestLevel::Day => "day",
+            ForestLevel::Week => "week",
+            ForestLevel::Month => "month",
+        }
+    }
+}
+
+/// Directory-backed store of materialized forest levels.
+///
+/// Layout: `<root>/clusters/<level>-<bucket>.acf`.
+pub struct ForestStore {
+    root: PathBuf,
+}
+
+impl ForestStore {
+    /// Opens (creating if needed) a forest store under `root`.
+    pub fn open(root: &Path) -> Result<Self> {
+        std::fs::create_dir_all(root.join("clusters"))?;
+        Ok(Self {
+            root: root.to_owned(),
+        })
+    }
+
+    fn path(&self, level: ForestLevel, bucket: u32) -> PathBuf {
+        self.root
+            .join("clusters")
+            .join(format!("{}-{bucket:05}.acf", level.prefix()))
+    }
+
+    /// Persists one bucket of a level.
+    pub fn save(&self, level: ForestLevel, bucket: u32, clusters: &[AtypicalCluster]) -> Result<()> {
+        write_clusters(&self.path(level, bucket), clusters)
+    }
+
+    /// Loads one bucket, or `None` if it was never materialized.
+    pub fn load(&self, level: ForestLevel, bucket: u32) -> Result<Option<Vec<AtypicalCluster>>> {
+        let path = self.path(level, bucket);
+        if !path.exists() {
+            return Ok(None);
+        }
+        read_clusters(&path).map(Some)
+    }
+
+    /// Whether a bucket is materialized.
+    pub fn contains(&self, level: ForestLevel, bucket: u32) -> bool {
+        self.path(level, bucket).exists()
+    }
+
+    /// Buckets materialized at a level, sorted.
+    pub fn buckets(&self, level: ForestLevel) -> Result<Vec<u32>> {
+        let mut out = Vec::new();
+        let prefix = format!("{}-", level.prefix());
+        for entry in std::fs::read_dir(self.root.join("clusters"))? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(num) = rest.strip_suffix(".acf") {
+                    if let Ok(b) = num.parse() {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Persists a forest's day level (the "pre-compute the micro-clusters
+    /// of each day" setting the paper's experiments use).
+    pub fn save_forest_days(&self, forest: &crate::forest::AtypicalForest) -> Result<usize> {
+        let mut n = 0;
+        for day in forest.days().collect::<Vec<_>>() {
+            self.save(ForestLevel::Day, day, forest.day(day))?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Rebuilds an in-memory forest from every materialized day bucket.
+    pub fn load_forest(
+        &self,
+        spec: cps_core::WindowSpec,
+        params: cps_core::Params,
+    ) -> Result<crate::forest::AtypicalForest> {
+        let mut forest = crate::forest::AtypicalForest::new(spec, params);
+        for day in self.buckets(ForestLevel::Day)? {
+            if let Some(clusters) = self.load(ForestLevel::Day, day)? {
+                forest.insert_day(day, clusters);
+            }
+        }
+        Ok(forest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::{Params, WindowSpec};
+
+    fn cluster(id: u64, base: u32, n: u32) -> AtypicalCluster {
+        let sf: SpatialFeature = (base..base + n)
+            .map(|s| (SensorId::new(s), Severity::from_secs(60 + u64::from(s))))
+            .collect();
+        let tf: TemporalFeature = (base..base + n)
+            .map(|w| (TimeWindow::new(w), Severity::from_secs(60 + u64::from(w))))
+            .collect();
+        AtypicalCluster::new(ClusterId::new(id), sf, tf)
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("atypical-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_clusters_exactly() {
+        let dir = tmp("roundtrip");
+        let clusters: Vec<AtypicalCluster> = (0..20).map(|i| cluster(i, (i as u32) * 3, 5)).collect();
+        let path = dir.join("x.acf");
+        write_clusters(&path, &clusters).unwrap();
+        let back = read_clusters(&path).unwrap();
+        assert_eq!(clusters, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let dir = tmp("empty");
+        let path = dir.join("x.acf");
+        write_clusters(&path, &[]).unwrap();
+        assert!(read_clusters(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmp("corrupt");
+        let path = dir.join("x.acf");
+        write_clusters(&path, &[cluster(1, 0, 4)]).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        let len = raw.len();
+        raw[len - 3] ^= 0xFF;
+        std::fs::write(&path, raw).unwrap();
+        let err = read_clusters(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_header_is_rejected() {
+        let dir = tmp("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.acf");
+        std::fs::write(&path, b"not a cluster file").unwrap();
+        assert!(read_clusters(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forest_store_levels_and_buckets() {
+        let dir = tmp("levels");
+        let store = ForestStore::open(&dir).unwrap();
+        store.save(ForestLevel::Day, 3, &[cluster(1, 0, 3)]).unwrap();
+        store.save(ForestLevel::Day, 10, &[cluster(2, 5, 3)]).unwrap();
+        store.save(ForestLevel::Week, 0, &[cluster(3, 0, 6)]).unwrap();
+        assert!(store.contains(ForestLevel::Day, 3));
+        assert!(!store.contains(ForestLevel::Day, 4));
+        assert_eq!(store.buckets(ForestLevel::Day).unwrap(), vec![3, 10]);
+        assert_eq!(store.buckets(ForestLevel::Week).unwrap(), vec![0]);
+        assert_eq!(store.buckets(ForestLevel::Month).unwrap(), Vec::<u32>::new());
+        let loaded = store.load(ForestLevel::Week, 0).unwrap().unwrap();
+        assert_eq!(loaded[0].id, ClusterId::new(3));
+        assert!(store.load(ForestLevel::Month, 0).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forest_persistence_roundtrip() {
+        let dir = tmp("forest");
+        let store = ForestStore::open(&dir).unwrap();
+        let spec = WindowSpec::PEMS;
+        let params = Params::paper_defaults();
+        let mut forest = crate::forest::AtypicalForest::new(spec, params);
+        forest.insert_day(0, vec![cluster(1, 0, 4)]);
+        forest.insert_day(1, vec![cluster(2, 10, 4), cluster(3, 20, 4)]);
+        assert_eq!(store.save_forest_days(&forest).unwrap(), 2);
+
+        let loaded = store.load_forest(spec, params).unwrap();
+        assert_eq!(loaded.num_micro_clusters(), 3);
+        assert_eq!(loaded.day(0), forest.day(0));
+        assert_eq!(loaded.day(1), forest.day(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,163 @@
+//! ASCII rendering of clusters on the deployment map.
+//!
+//! The paper illustrates results on Google-Maps screenshots (Figures 1, 7,
+//! 11, 12); the examples in this repository render the same information as
+//! terminal maps: the network's sensors as dots, each cluster's sensors as
+//! a letter, intensity by case.
+
+use crate::cluster::AtypicalCluster;
+use cps_core::Severity;
+use cps_geo::RoadNetwork;
+
+/// Renders `clusters` over the network as a `width × height` character map.
+///
+/// Sensors not in any cluster print as `·`; the sensors of cluster `i`
+/// print as the letter `A + (i mod 26)` — uppercase where that sensor's
+/// severity is above the cluster's per-sensor mean, lowercase otherwise.
+pub fn render_clusters(
+    network: &RoadNetwork,
+    clusters: &[&AtypicalCluster],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 2 && height >= 2, "canvas too small");
+    let bbox = network.bbox();
+    let mut canvas = vec![vec![' '; width]; height];
+
+    let place = |lat: f64, lon: f64| -> (usize, usize) {
+        let x = (lon - bbox.min_lon) / (bbox.max_lon - bbox.min_lon).max(1e-12);
+        let y = (lat - bbox.min_lat) / (bbox.max_lat - bbox.min_lat).max(1e-12);
+        (
+            ((1.0 - y) * (height - 1) as f64).round() as usize,
+            (x * (width - 1) as f64).round() as usize,
+        )
+    };
+
+    for sensor in network.sensors() {
+        let (r, c) = place(sensor.location.lat, sensor.location.lon);
+        canvas[r][c] = '.';
+    }
+
+    for (i, cluster) in clusters.iter().enumerate() {
+        let letter = (b'a' + (i % 26) as u8) as char;
+        let mean = if cluster.sensor_count() == 0 {
+            Severity::ZERO
+        } else {
+            Severity::from_secs(cluster.severity().as_secs() / cluster.sensor_count() as u64)
+        };
+        for (sensor, severity) in cluster.sf.iter() {
+            let info = network.sensor(sensor);
+            let (r, c) = place(info.location.lat, info.location.lon);
+            canvas[r][c] = if severity > mean {
+                letter.to_ascii_uppercase()
+            } else {
+                letter
+            };
+        }
+    }
+
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in canvas {
+        out.extend(row);
+        // Trim trailing spaces per line to keep output tidy.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line textual legend for a cluster list.
+pub fn legend(clusters: &[&AtypicalCluster]) -> String {
+    clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            format!(
+                "{} = {} ({} sensors, {})",
+                (b'a' + (i % 26) as u8) as char,
+                c.id,
+                c.sensor_count(),
+                c.severity()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{SpatialFeature, TemporalFeature};
+    use cps_core::{ClusterId, SensorId, TimeWindow};
+    use cps_geo::point::LOS_ANGELES;
+
+    fn network() -> RoadNetwork {
+        RoadNetwork::builder()
+            .highway(
+                "EW",
+                vec![
+                    LOS_ANGELES.offset_miles(0.0, -5.0),
+                    LOS_ANGELES.offset_miles(0.0, 5.0),
+                ],
+                0.5,
+            )
+            .highway(
+                "NS",
+                vec![
+                    LOS_ANGELES.offset_miles(-5.0, 0.0),
+                    LOS_ANGELES.offset_miles(5.0, 0.0),
+                ],
+                0.5,
+            )
+            .build()
+    }
+
+    fn cluster(sensors: &[(u32, f64)]) -> AtypicalCluster {
+        let sf: SpatialFeature = sensors
+            .iter()
+            .map(|&(s, m)| (SensorId::new(s), Severity::from_minutes(m)))
+            .collect();
+        let tf: TemporalFeature =
+            std::iter::once((TimeWindow::new(0), sf.total())).collect();
+        AtypicalCluster::new(ClusterId::new(1), sf, tf)
+    }
+
+    #[test]
+    fn map_contains_cluster_letters_and_dots() {
+        let net = network();
+        let c = cluster(&[(0, 100.0), (1, 5.0), (2, 5.0)]);
+        let map = render_clusters(&net, &[&c], 60, 20);
+        assert!(map.contains('.'), "uncovered sensors render as dots");
+        assert!(map.contains('A'), "above-mean sensor is uppercase");
+        assert!(map.contains('a'), "below-mean sensors are lowercase");
+    }
+
+    #[test]
+    fn distinct_clusters_get_distinct_letters() {
+        let net = network();
+        let c1 = cluster(&[(0, 10.0)]);
+        let c2 = cluster(&[(15, 10.0)]);
+        let map = render_clusters(&net, &[&c1, &c2], 60, 20);
+        let has = |ch: char| map.contains(ch) || map.contains(ch.to_ascii_uppercase());
+        assert!(has('a') && has('b'));
+    }
+
+    #[test]
+    fn legend_lists_every_cluster() {
+        let c1 = cluster(&[(0, 10.0)]);
+        let c2 = cluster(&[(1, 10.0), (2, 10.0)]);
+        let text = legend(&[&c1, &c2]);
+        assert!(text.contains("a = "));
+        assert!(text.contains("b = "));
+        assert!(text.contains("2 sensors"));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        let net = network();
+        render_clusters(&net, &[], 1, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 15's inner loops: per-day micro-cluster construction (AC) versus
+//! the CubeView-style aggregation (MC) over the same atypical records.
+
+use atypical::pipeline::{day_micro_clusters, ConstructionStats};
+use cps_core::ids::ClusterIdGen;
+use cps_core::{Params, WindowSpec};
+use cps_cube::SpatioTemporalCube;
+use cps_geo::grid::RegionHierarchy;
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let sim = TrafficSim::new(SimConfig::new(Scale::Small, 7));
+    let records = sim.atypical_day(0);
+    let params = Params::paper_defaults();
+    let spec = WindowSpec::PEMS;
+    let hierarchy = RegionHierarchy::standard(sim.network(), 3.0, 3);
+
+    let mut group = c.benchmark_group("construction_per_day");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("atypical_clusters", |b| {
+        b.iter(|| {
+            let mut ids = ClusterIdGen::new(1);
+            let mut stats = ConstructionStats::default();
+            black_box(day_micro_clusters(
+                &records,
+                sim.network(),
+                &params,
+                spec,
+                &mut ids,
+                &mut stats,
+            ))
+        })
+    });
+
+    group.bench_function("cube_mc", |b| {
+        b.iter(|| {
+            let mut cube = SpatioTemporalCube::new(hierarchy.clone(), spec);
+            for r in &records {
+                cube.add_atypical(r);
+            }
+            black_box(cube.base_cells())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Algorithm 3: cluster integration cost versus input size (quadratic in
+//! the number of input clusters — Proposition 3 and the motivation for the
+//! red-zone filter).
+
+use atypical::integrate::{integrate_aligned, TimeAlignment};
+use atypical::pipeline::build_forest_from_records;
+use cps_core::{Params, WindowSpec};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_integration(c: &mut Criterion) {
+    let sim = TrafficSim::new(SimConfig::new(Scale::Small, 11));
+    let params = Params::paper_defaults();
+    let built = build_forest_from_records(
+        (0..14).map(|d| (d, sim.atypical_day(d))),
+        sim.network(),
+        &params,
+        WindowSpec::PEMS,
+    );
+    let alignment = TimeAlignment::TimeOfDay {
+        windows_per_day: WindowSpec::PEMS.windows_per_day(),
+    };
+
+    let mut group = c.benchmark_group("integration");
+    group.sample_size(10);
+    for days in [2u32, 7, 14] {
+        let micros = built.forest.micros_in_days(0, days);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(micros.len()),
+            &micros,
+            |b, micros| {
+                b.iter(|| {
+                    let mut ids = cps_core::ids::ClusterIdGen::new(1);
+                    black_box(
+                        integrate_aligned(micros.clone(), &params, alignment, &mut ids)
+                            .0
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_integration);
+criterion_main!(benches);

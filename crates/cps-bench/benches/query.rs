@@ -1,0 +1,47 @@
+//! Figure 17's inner loop: the three online query strategies over a
+//! prebuilt forest.
+
+use atypical::pipeline::build_forest_from_records;
+use atypical::{Query, QueryEngine, Strategy};
+use cps_core::{Params, WindowSpec};
+use cps_geo::UniformGrid;
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let sim = TrafficSim::new(SimConfig::new(Scale::Small, 42));
+    let params = Params::paper_defaults();
+    let built = build_forest_from_records(
+        (0..14).map(|d| (d, sim.atypical_day(d))),
+        sim.network(),
+        &params,
+        WindowSpec::PEMS,
+    );
+    let partition = UniformGrid::over(sim.network(), 3.0).partition(sim.network());
+    let engine = QueryEngine::new(sim.network(), &partition, params);
+
+    let mut group = c.benchmark_group("query_14_days");
+    group.sample_size(20);
+    let mut forest = built.forest;
+    for strategy in [Strategy::All, Strategy::Pru, Strategy::Gui] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .execute(&mut forest, &Query::days(0, 14), strategy)
+                            .macros
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Proposition 1: event retrieval is `O(N + n²)` unindexed and
+//! `O(N + n·log n)` with the spatio-temporal index.
+
+use atypical::event::extract_events;
+use cps_core::{Params, WindowSpec};
+use cps_index::{NaiveNeighbors, StIndex};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_retrieval(c: &mut Criterion) {
+    let sim = TrafficSim::new(SimConfig::new(Scale::Small, 42));
+    let params = Params::paper_defaults();
+    let spec = WindowSpec::PEMS;
+    let mut group = c.benchmark_group("event_retrieval");
+    group.sample_size(10);
+
+    for day in [0u32, 1] {
+        let records = sim.atypical_day(day);
+        let n = records.len();
+        group.bench_with_input(BenchmarkId::new("indexed", n), &records, |b, records| {
+            b.iter(|| {
+                let index = StIndex::build(records, sim.network(), &params, spec);
+                black_box(extract_events(&index).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &records, |b, records| {
+            b.iter(|| {
+                let naive = NaiveNeighbors::new(records, sim.network(), &params, spec);
+                black_box(extract_events(&naive).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

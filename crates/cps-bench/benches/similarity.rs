@@ -1,0 +1,48 @@
+//! Equations 2–4: similarity computation cost per balance function and
+//! alignment — the inner kernel of Algorithm 3's `O(n²)` comparisons.
+
+use atypical::cluster::AtypicalCluster;
+use atypical::feature::{SpatialFeature, TemporalFeature};
+use atypical::similarity::{similarity, similarity_folded};
+use cps_core::{BalanceFunction, ClusterId, SensorId, Severity, TimeWindow};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn make_cluster(id: u64, base: u32, n: u32) -> AtypicalCluster {
+    let sf: SpatialFeature = (base..base + n)
+        .map(|s| (SensorId::new(s), Severity::from_secs(60 + u64::from(s))))
+        .collect();
+    let tf: TemporalFeature = (base..base + n)
+        .map(|w| (TimeWindow::new(w), Severity::from_secs(60 + u64::from(w))))
+        .collect();
+    AtypicalCluster::new(ClusterId::new(id), sf, tf)
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    for n in [16u32, 128, 1024] {
+        let a = make_cluster(1, 0, n);
+        let b = make_cluster(2, n / 2, n);
+        group.bench_with_input(BenchmarkId::new("avg", n), &(a.clone(), b.clone()), |bench, (a, b)| {
+            bench.iter(|| black_box(similarity(a, b, BalanceFunction::ArithmeticMean)))
+        });
+        group.bench_with_input(BenchmarkId::new("max", n), &(a.clone(), b.clone()), |bench, (a, b)| {
+            bench.iter(|| black_box(similarity(a, b, BalanceFunction::Max)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("folded", n),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| {
+                bench.iter(|| black_box(similarity_folded(a, b, BalanceFunction::ArithmeticMean, 288)))
+            },
+        );
+        let big = make_cluster(3, 0, n);
+        group.bench_with_input(BenchmarkId::new("merge", n), &(a, big), |bench, (a, big)| {
+            bench.iter(|| black_box(a.merge(big, ClusterId::new(9)).sensor_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 21: average severity of significant clusters versus the
+//! similarity threshold `δsim`, for all five balance functions `g`.
+//!
+//! Expected shape: `max` integrates most (highest severities), `min` least;
+//! severity collapses as `δsim → 1` because nothing merges any more —
+//! which is why the paper recommends `δsim ≈ 0.5`.
+
+use crate::table::Table;
+use crate::workbench::Workbench;
+use atypical::forest::AtypicalForest;
+use atypical::significant::partition_significant;
+use cps_core::{BalanceFunction, Params, Result};
+
+/// The `δsim` sweep.
+pub const DELTA_SIM: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Days integrated (one month, matching the paper's monthly clusters).
+const DAYS: u32 = 30;
+
+/// Runs the sweep: integration only — the micro-clusters are built once.
+pub fn run(wb: &Workbench, base: &Params) -> Result<Vec<Table>> {
+    let built = wb.build_forest_for_days(DAYS, base)?;
+    let micros: Vec<(u32, Vec<atypical::AtypicalCluster>)> = built
+        .days()
+        .map(|d| (d, built.day(d).to_vec()))
+        .collect();
+    let spec = built.spec();
+    let n_sensors = wb.network().num_sensors() as u32;
+    let range = spec.day_range(0, DAYS);
+
+    let mut table = Table::new(
+        "Figure 21: avg severity (min) of significant clusters vs δsim",
+        &["δsim", "min", "har", "geo", "avg", "max"],
+    );
+    for &delta_sim in &DELTA_SIM {
+        let mut row = vec![format!("{delta_sim:.1}")];
+        for g in BalanceFunction::ALL {
+            let params = base.with_delta_sim(delta_sim).with_balance(g);
+            let mut forest = AtypicalForest::new(spec, params);
+            for (day, clusters) in &micros {
+                forest.insert_day(*day, clusters.clone());
+            }
+            let macros = forest.integrate_days(0, DAYS);
+            let (sig, _) = partition_significant(macros, &params, range, n_sensors);
+            let avg = if sig.is_empty() {
+                0.0
+            } else {
+                sig.iter().map(|c| c.severity().as_minutes()).sum::<f64>() / sig.len() as f64
+            };
+            row.push(format!("{avg:.0}"));
+        }
+        table.row(row);
+        eprintln!("[fig21] δsim={delta_sim:.1} done");
+    }
+    Ok(vec![table])
+}

@@ -1,0 +1,104 @@
+//! Figure 20: number of atypical clusters versus the event-chaining
+//! thresholds `δt` (a) and `δd` (b).
+//!
+//! Series: average micro-clusters per day, macro-clusters per week/month,
+//! and *significant* macro-clusters per week/month. Expected shape: macro
+//! counts fall quickly as `δt` grows (more records chain into one event),
+//! less so with `δd`; the significant-cluster counts stay nearly flat —
+//! big events absorb more records but remain the same events.
+
+use crate::table::Table;
+use crate::workbench::Workbench;
+use atypical::significant::partition_significant;
+use cps_core::{Params, Result};
+
+/// The `δt` sweep, minutes (Figure 14's range).
+pub const DELTA_T: [u32; 5] = [15, 20, 40, 60, 80];
+/// The `δd` sweep, miles.
+pub const DELTA_D: [f64; 5] = [1.5, 3.0, 6.0, 12.0, 24.0];
+
+/// Days of history the counts are averaged over (≥ 2 months).
+const DAYS: u32 = 60;
+
+struct Counts {
+    micro_per_day: f64,
+    macro_week: f64,
+    macro_month: f64,
+    sig_week: f64,
+    sig_month: f64,
+}
+
+fn count_for(wb: &Workbench, params: &Params) -> Result<Counts> {
+    // Count raw events as the paper does: no trustworthiness filter, so the
+    // δt/δd trends reflect event chaining alone.
+    let params = &params.with_min_event_records(1);
+    let built = wb.build_forest_for_days(DAYS, params)?;
+    let mut forest = built;
+    let spec = forest.spec();
+    let n_sensors = wb.network().num_sensors() as u32;
+    let n_weeks = DAYS / 7;
+    let n_months = DAYS / 30;
+
+    let micro_total = forest.num_micro_clusters();
+    let mut macro_week = 0usize;
+    let mut sig_week = 0usize;
+    for week in 0..n_weeks {
+        let macros = forest.week(week).to_vec();
+        macro_week += macros.len();
+        let range = spec.day_range(week * 7, 7);
+        let (sig, _) = partition_significant(macros, params, range, n_sensors);
+        sig_week += sig.len();
+    }
+    let mut macro_month = 0usize;
+    let mut sig_month = 0usize;
+    for month in 0..n_months {
+        let macros = forest.month(month).to_vec();
+        macro_month += macros.len();
+        let range = spec.day_range(month * 30, 30);
+        let (sig, _) = partition_significant(macros, params, range, n_sensors);
+        sig_month += sig.len();
+    }
+    Ok(Counts {
+        micro_per_day: micro_total as f64 / f64::from(DAYS),
+        macro_week: macro_week as f64 / f64::from(n_weeks),
+        macro_month: macro_month as f64 / f64::from(n_months.max(1)),
+        sig_week: sig_week as f64 / f64::from(n_weeks),
+        sig_month: sig_month as f64 / f64::from(n_months.max(1)),
+    })
+}
+
+fn push(table: &mut Table, label: String, c: &Counts) {
+    table.row(vec![
+        label,
+        format!("{:.1}", c.micro_per_day),
+        format!("{:.1}", c.macro_week),
+        format!("{:.1}", c.macro_month),
+        format!("{:.2}", c.sig_week),
+        format!("{:.2}", c.sig_month),
+    ]);
+}
+
+/// Runs both sweeps.
+pub fn run(wb: &Workbench, base: &Params) -> Result<Vec<Table>> {
+    let headers = [
+        "value",
+        "micro/day",
+        "macro(week)",
+        "macro(month)",
+        "sig(week)",
+        "sig(month)",
+    ];
+    let mut by_dt = Table::new("Figure 20(a): # of clusters vs δt (min)", &headers);
+    for &dt in &DELTA_T {
+        let params = base.with_delta_t(dt);
+        push(&mut by_dt, format!("{dt}"), &count_for(wb, &params)?);
+        eprintln!("[fig20a] δt={dt} done");
+    }
+    let mut by_dd = Table::new("Figure 20(b): # of clusters vs δd (mile)", &headers);
+    for &dd in &DELTA_D {
+        let params = base.with_delta_d(dd);
+        push(&mut by_dd, format!("{dd}"), &count_for(wb, &params)?);
+        eprintln!("[fig20b] δd={dd} done");
+    }
+    Ok(vec![by_dt, by_dd])
+}

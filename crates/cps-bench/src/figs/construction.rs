@@ -1,0 +1,60 @@
+//! Figures 15 and 16: offline model construction — time cost and model
+//! size vs number of datasets.
+//!
+//! Four builds per dataset-count `k`, exactly the paper's series:
+//!
+//! * **PR** — pre-processing: scan raw data, select atypical records,
+//! * **OC** — original CubeView over all raw readings,
+//! * **MC** — modified CubeView over atypical records only,
+//! * **AC** — the atypical-cluster model (Algorithm 1 per day).
+//!
+//! Expected shape: `MC`/`AC` an order of magnitude faster than `OC` (they
+//! scan only the 2–5 % atypical slice); `PR` ≈ `OC` (both scan everything);
+//! `MC` smallest model, `AC` a small fraction of the raw event model `AE`.
+
+use crate::table::{secs, Table};
+use crate::workbench::Workbench;
+use cps_core::{Params, Result};
+use cps_cube::cube::{build_mc, build_oc, preprocess_raw};
+use std::sync::Arc;
+
+/// Runs the construction sweep for `k = 1..=max_k` datasets.
+pub fn run(wb: &Workbench, max_k: u32, params: &Params) -> Result<Vec<Table>> {
+    let mut time = Table::new(
+        "Figure 15: construction time (s) vs # of datasets",
+        &["datasets", "OC", "PR", "MC", "AC"],
+    );
+    let mut size = Table::new(
+        "Figure 16: model size (KB) vs # of datasets",
+        &["datasets", "OC", "MC", "AC", "AE"],
+    );
+    let kb = |bytes: usize| format!("{:.1}", bytes as f64 / 1024.0);
+
+    for k in 1..=max_k {
+        let datasets = wb.datasets(k);
+        let io = Arc::clone(&wb.io);
+
+        let (_, _, pr_elapsed) =
+            preprocess_raw(&wb.store, &datasets, &wb.sim.criterion(), io.clone())?;
+        let oc = build_oc(&wb.store, &datasets, wb.hierarchy.clone(), io.clone())?;
+        let mc = build_mc(&wb.store, &datasets, wb.hierarchy.clone(), io.clone())?;
+        let ac = wb.build_forest(k, params)?;
+
+        time.row(vec![
+            k.to_string(),
+            secs(oc.elapsed),
+            secs(pr_elapsed),
+            secs(mc.elapsed),
+            secs(ac.elapsed),
+        ]);
+        size.row(vec![
+            k.to_string(),
+            kb(oc.cube.approx_bytes()),
+            kb(mc.cube.approx_bytes()),
+            kb(ac.stats.cluster_bytes),
+            kb(ac.stats.event_bytes),
+        ]);
+        eprintln!("[fig15/16] k={k} done");
+    }
+    Ok(vec![time, size])
+}

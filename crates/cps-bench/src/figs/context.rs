@@ -1,0 +1,93 @@
+//! Extension experiment (§V-D): context-dimension analysis.
+//!
+//! Joins the archive's weather log onto the month's macro-clusters and the
+//! accident log onto the significant ones — the "congestions related to bad
+//! weather or the accident reports" queries the discussion sketches.
+//! Expected shape: per-day severity is higher under rain/storm than clear
+//! (the simulator's weather multipliers feed event probability and
+//! duration), and most accidents link to some cluster.
+
+use crate::table::Table;
+use crate::workbench::Workbench;
+use atypical::context::{linked_events, DayLabels, PointEvent};
+use cps_core::{DatasetId, Params, Result, Severity};
+use cps_sim::traffic::ContextLog;
+
+/// Runs the weather/accident context analysis over the first month.
+pub fn run(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
+    const DAYS: u32 = 30;
+    let built = wb.build_forest_for_days(DAYS, params)?;
+    let spec = built.spec();
+    let context = ContextLog::load(wb.store.root(), DatasetId::new(1))?;
+    let labels = DayLabels::from_pairs(
+        context
+            .weather
+            .iter()
+            .map(|w| (w.day, w.weather.label())),
+    );
+
+    // Weather table: days and total micro-cluster severity per condition.
+    let mut per_label: std::collections::BTreeMap<&str, (u32, Severity)> = Default::default();
+    for w in &context.weather {
+        let total: Severity = built.day(w.day).iter().map(|c| c.severity()).sum();
+        let slot = per_label.entry(w.weather.label()).or_insert((0, Severity::ZERO));
+        slot.0 += 1;
+        slot.1 += total;
+    }
+    let mut weather = Table::new(
+        "Context: daily atypical severity by weather (month 1)",
+        &["weather", "days", "total severity (min)", "per-day (min)"],
+    );
+    for (label, (days, total)) in &per_label {
+        weather.row(vec![
+            label.to_string(),
+            days.to_string(),
+            format!("{:.0}", total.as_minutes()),
+            format!("{:.0}", total.as_minutes() / f64::from(*days)),
+        ]);
+    }
+
+    // Accident table: how many accidents link to clusters, and the dominant
+    // weather of the significant clusters.
+    let accidents: Vec<PointEvent> = context
+        .accidents
+        .iter()
+        .map(|a| PointEvent {
+            sensor: a.sensor,
+            window: a.window,
+        })
+        .collect();
+    let micros = built.micros_in_days(0, DAYS);
+    let linked_any = accidents
+        .iter()
+        .filter(|e| micros.iter().any(|c| !linked_events(c, std::slice::from_ref(e), 3).is_empty()))
+        .count();
+    let mut forest = built;
+    let monthly = forest.integrate_days(0, DAYS);
+    let threshold = atypical::significance_threshold(
+        params,
+        spec.day_range(0, DAYS),
+        wb.network().num_sensors() as u32,
+    );
+    let mut joins = Table::new(
+        "Context: accident linkage and significant-cluster weather",
+        &["quantity", "value"],
+    );
+    joins.row(vec!["accident reports".into(), accidents.len().to_string()]);
+    joins.row(vec![
+        "accidents linked to some cluster".into(),
+        format!("{linked_any} ({:.0}%)", 100.0 * linked_any as f64 / accidents.len().max(1) as f64),
+    ]);
+    for c in monthly.iter().filter(|c| c.severity() > threshold) {
+        let dominant = labels.dominant(c, spec).unwrap_or("n/a");
+        let n_acc = linked_events(c, &accidents, 3).len();
+        joins.row(vec![
+            format!("significant {}", c.id),
+            format!(
+                "{:.0} min, dominated by {dominant} days, {n_acc} accidents linked",
+                c.severity().as_minutes()
+            ),
+        ]);
+    }
+    Ok(vec![weather, joins])
+}

@@ -1,0 +1,97 @@
+//! `repro diag`: distribution diagnostics for calibrating the simulator
+//! against the paper's qualitative claims (significant fraction 0.1–0.5 %,
+//! ~80 % red-zone filter rate, Pru recall loss).
+
+use crate::table::Table;
+use crate::workbench::Workbench;
+use atypical::redzone::RedZones;
+use atypical::significant::significance_threshold;
+use cps_core::{Params, Result, Severity};
+
+/// Prints micro/macro severity distributions and threshold positions.
+pub fn run(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
+    let days = 14u32;
+    let mut forest = wb.build_forest_for_days(days, params)?;
+    let spec = forest.spec();
+    let n = wb.network().num_sensors() as u32;
+    let day_threshold = significance_threshold(params, spec.day_range(0, 1), n);
+    let q_threshold = significance_threshold(params, spec.day_range(0, days), n);
+
+    let micros = forest.micros_in_days(0, days);
+    let mut sev: Vec<f64> = micros.iter().map(|c| c.severity().as_minutes()).collect();
+    sev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |q: f64| -> f64 {
+        if sev.is_empty() {
+            0.0
+        } else {
+            sev[((sev.len() - 1) as f64 * q) as usize]
+        }
+    };
+
+    let zones = RedZones::compute(
+        &micros,
+        wb.partition(),
+        params,
+        spec.day_range(0, days),
+        n,
+    );
+    let (kept, pruned) = zones.filter(micros.clone(), wb.partition());
+
+    let macros = forest.integrate_days(0, days);
+    let mut msev: Vec<f64> = macros.iter().map(|c| c.severity().as_minutes()).collect();
+    msev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sig = macros
+        .iter()
+        .filter(|c| c.severity() > q_threshold)
+        .count();
+    let day_sig = micros
+        .iter()
+        .filter(|c| c.severity() > day_threshold)
+        .count();
+
+    let mut t = Table::new(
+        format!("diag over {days} days ({n} sensors)"),
+        &["quantity", "value"],
+    );
+    let fm = |s: Severity| format!("{:.0} min", s.as_minutes());
+    t.row(vec!["micro clusters".into(), micros.len().to_string()]);
+    t.row(vec![
+        "micro severity p50/p90/p99/max (min)".into(),
+        format!("{:.0}/{:.0}/{:.0}/{:.0}", pick(0.5), pick(0.9), pick(0.99), pick(1.0)),
+    ]);
+    t.row(vec!["day threshold".into(), fm(day_threshold)]);
+    t.row(vec!["day-significant micros (Pru keeps)".into(), day_sig.to_string()]);
+    t.row(vec![format!("{days}-day threshold"), fm(q_threshold)]);
+    t.row(vec!["macro clusters".into(), macros.len().to_string()]);
+    t.row(vec![
+        "macro severity p50/max (min)".into(),
+        format!(
+            "{:.0}/{:.0}",
+            msev.get(msev.len() / 2).copied().unwrap_or(0.0),
+            msev.last().copied().unwrap_or(0.0)
+        ),
+    ]);
+    t.row(vec!["significant macros".into(), sig.to_string()]);
+    t.row(vec![
+        "red regions".into(),
+        format!("{}/{}", zones.num_red(), wb.partition().num_regions()),
+    ]);
+    t.row(vec![
+        "gui kept/pruned micros".into(),
+        format!("{}/{}", kept.len(), pruned.len()),
+    ]);
+    let mut top: Vec<&atypical::AtypicalCluster> = macros.iter().collect();
+    top.sort_by_key(|c| std::cmp::Reverse(c.severity()));
+    for (i, c) in top.iter().take(10).enumerate() {
+        t.row(vec![
+            format!("top macro #{}", i + 1),
+            format!(
+                "{:.0} min, {} micros, {} sensors",
+                c.severity().as_minutes(),
+                c.merged_count,
+                c.sensor_count()
+            ),
+        ]);
+    }
+    Ok(vec![t])
+}

@@ -1,0 +1,107 @@
+//! Figures 18 and 19: effectiveness — precision and recall of significant
+//! clusters, versus query range (Fig. 18) and versus the severity threshold
+//! `δs` (Fig. 19, range fixed at 14 days).
+//!
+//! Protocol (§V-B): `All`'s significant clusters are the ground truth;
+//! the final severity check is disabled for every strategy ("for a fair
+//! play"). Expected shapes: precision falls with range for everyone; `Pru`
+//! has the highest precision but recall that can drop below 50 %; `All`
+//! and `Gui` recall stays 1.0; `Pru` recall *rises* with `δs`.
+
+use crate::figs::query_cost::RANGES;
+use crate::table::Table;
+use crate::workbench::Workbench;
+use atypical::eval::evaluate;
+use atypical::{Query, QueryEngine, Strategy};
+use cps_core::{Params, Result};
+
+fn eval_row(
+    wb: &Workbench,
+    forest: &mut atypical::AtypicalForest,
+    params: &Params,
+    query: &Query,
+) -> [(f64, f64); 3] {
+    let engine = QueryEngine::new(wb.network(), wb.partition(), *params);
+    let all = engine.execute(forest, query, Strategy::All);
+    let truth = all.significant().into_iter().cloned().collect::<Vec<_>>();
+    let truth_refs: Vec<&atypical::AtypicalCluster> = truth.iter().collect();
+    let mut out = [(0.0, 0.0); 3];
+    for (i, strategy) in [Strategy::All, Strategy::Pru, Strategy::Gui]
+        .into_iter()
+        .enumerate()
+    {
+        let result = if strategy == Strategy::All {
+            all.clone()
+        } else {
+            engine.execute(forest, query, strategy)
+        };
+        let pr = evaluate(&result, &truth_refs);
+        out[i] = (pr.precision, pr.recall);
+    }
+    out
+}
+
+/// Figure 18: precision/recall vs query range.
+pub fn run_vs_range(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
+    let mut forest = wb.build_forest_for_days(*RANGES.last().expect("non-empty"), params)?;
+    let mut precision = Table::new(
+        "Figure 18(a): precision vs range (days)",
+        &["range", "All", "Pru", "Gui"],
+    );
+    let mut recall = Table::new(
+        "Figure 18(b): recall vs range (days)",
+        &["range", "All", "Pru", "Gui"],
+    );
+    for &range in &RANGES {
+        let rows = eval_row(wb, &mut forest, params, &Query::days(0, range));
+        precision.row(vec![
+            range.to_string(),
+            format!("{:.3}", rows[0].0),
+            format!("{:.3}", rows[1].0),
+            format!("{:.3}", rows[2].0),
+        ]);
+        recall.row(vec![
+            range.to_string(),
+            format!("{:.3}", rows[0].1),
+            format!("{:.3}", rows[1].1),
+            format!("{:.3}", rows[2].1),
+        ]);
+        eprintln!("[fig18] range={range} done");
+    }
+    Ok(vec![precision, recall])
+}
+
+/// The paper's `δs` sweep.
+pub const DELTA_S: [f64; 5] = [0.02, 0.05, 0.10, 0.15, 0.20];
+
+/// Figure 19: precision/recall vs `δs` at a fixed 14-day range.
+pub fn run_vs_delta_s(wb: &Workbench, base: &Params) -> Result<Vec<Table>> {
+    let mut forest = wb.build_forest_for_days(14, base)?;
+    let mut precision = Table::new(
+        "Figure 19(a): precision vs δs (range = 14 days)",
+        &["δs", "All", "Pru", "Gui"],
+    );
+    let mut recall = Table::new(
+        "Figure 19(b): recall vs δs (range = 14 days)",
+        &["δs", "All", "Pru", "Gui"],
+    );
+    for &delta_s in &DELTA_S {
+        let params = base.with_delta_s(delta_s);
+        let rows = eval_row(wb, &mut forest, &params, &Query::days(0, 14));
+        let label = format!("{:.0}%", delta_s * 100.0);
+        precision.row(vec![
+            label.clone(),
+            format!("{:.3}", rows[0].0),
+            format!("{:.3}", rows[1].0),
+            format!("{:.3}", rows[2].0),
+        ]);
+        recall.row(vec![
+            label,
+            format!("{:.3}", rows[0].1),
+            format!("{:.3}", rows[1].1),
+            format!("{:.3}", rows[2].1),
+        ]);
+        eprintln!("[fig19] δs={delta_s} done");
+    }
+    Ok(vec![precision, recall])
+}

@@ -1,0 +1,12 @@
+//! One module per reproduced figure.
+
+pub mod ablation;
+pub mod balance;
+pub mod cluster_counts;
+pub mod construction;
+pub mod context;
+pub mod diag;
+pub mod effectiveness;
+pub mod prediction;
+pub mod query_cost;
+pub mod settings;

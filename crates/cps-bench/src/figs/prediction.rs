@@ -1,0 +1,43 @@
+//! Extension experiment (§VII future work): recurrence-based event
+//! prediction, evaluated by hold-out.
+//!
+//! Train the per-(sensor, hour) recurrence profile on `k` days, then
+//! measure the top-`k` hit rate on the following (held-out) day, sweeping
+//! the training-history length. Expected shape: rush-hour hit rates climb
+//! quickly with history and saturate (the eternal corridors dominate);
+//! off-peak hit rates stay near zero.
+
+use crate::table::{pct, Table};
+use crate::workbench::Workbench;
+use atypical::predict::{holdout_hit_rate, RecurrenceProfile};
+use cps_core::{Params, Result};
+
+/// Training-history lengths swept, in days.
+pub const HISTORY: [u32; 4] = [3, 7, 14, 28];
+
+/// Runs the hold-out prediction experiment.
+pub fn run(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
+    let holdout_day = *HISTORY.last().expect("non-empty");
+    let built = wb.build_forest_for_days(holdout_day + 1, params)?;
+    let spec = built.spec();
+    let rush = [7u32, 8, 9, 16, 17, 18];
+    let off_peak = [1u32, 2, 3, 4];
+
+    let mut table = Table::new(
+        format!("Prediction: top-5 hit rate on held-out day {holdout_day}"),
+        &["history (days)", "rush hours", "off-peak hours"],
+    );
+    for &days in &HISTORY {
+        // Train on the `days` days immediately before the hold-out day.
+        let mut train = atypical::AtypicalForest::new(spec, *params);
+        for d in holdout_day.saturating_sub(days)..holdout_day {
+            train.insert_day(d, built.day(d).to_vec());
+        }
+        let profile = RecurrenceProfile::from_forest(&train);
+        let actual = built.day(holdout_day);
+        let rush_hit = holdout_hit_rate(&profile, actual, spec, &rush, 5);
+        let off_hit = holdout_hit_rate(&profile, actual, spec, &off_peak, 5);
+        table.row(vec![days.to_string(), pct(rush_hit), pct(off_hit)]);
+    }
+    Ok(vec![table])
+}

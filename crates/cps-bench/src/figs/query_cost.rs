@@ -1,0 +1,51 @@
+//! Figure 17: online query efficiency — time cost (a) and I/O measured as
+//! number of input micro-clusters (b), versus query time range, for the
+//! three strategies.
+//!
+//! Expected shape: `Gui` and `Pru` far below `All`; `Gui` time ≈ 15–20 % of
+//! `All` despite the extra red-zone computation.
+
+use crate::table::{secs, Table};
+use crate::workbench::Workbench;
+use atypical::{Query, QueryEngine, Strategy};
+use cps_core::{Params, Result};
+use std::time::Duration;
+
+/// The paper's query ranges, in days.
+pub const RANGES: [u32; 6] = [7, 14, 21, 28, 56, 84];
+
+/// Runs the query-cost sweep.
+pub fn run(wb: &Workbench, params: &Params, reps: u32) -> Result<Vec<Table>> {
+    let mut forest = wb.build_forest_for_days(*RANGES.last().expect("non-empty"), params)?;
+    let engine = QueryEngine::new(wb.network(), wb.partition(), *params);
+
+    let mut time = Table::new(
+        "Figure 17(a): query time (s) vs range (days)",
+        &["range", "All", "Pru", "Gui"],
+    );
+    let mut io = Table::new(
+        "Figure 17(b): # of input clusters vs range (days)",
+        &["range", "All", "Pru", "Gui"],
+    );
+
+    for &range in &RANGES {
+        let query = Query::days(0, range);
+        let mut row_time = vec![range.to_string()];
+        let mut row_io = vec![range.to_string()];
+        for strategy in [Strategy::All, Strategy::Pru, Strategy::Gui] {
+            let mut total = Duration::ZERO;
+            let mut inputs = 0;
+            for _ in 0..reps.max(1) {
+                let result = engine.execute(&mut forest, &query, strategy);
+                total += result.elapsed;
+                inputs = result.input_clusters;
+            }
+            row_time.push(secs(total / reps.max(1)));
+            row_io.push(inputs.to_string());
+        }
+        time.row(row_time);
+        io.row(row_io);
+        eprintln!("[fig17] range={range} done");
+    }
+    Ok(vec![time, io])
+}

@@ -1,0 +1,56 @@
+//! Figure 14: experiment settings and dataset profile.
+
+use crate::table::{pct, Table};
+use crate::workbench::Workbench;
+use cps_core::Params;
+
+/// Prints the dataset table and the parameter defaults/ranges.
+pub fn run(wb: &Workbench) -> Vec<Table> {
+    let mut datasets = Table::new(
+        "Figure 14: datasets",
+        &["dataset", "days", "sensors", "readings", "atypical %"],
+    );
+    for meta in &wb.store.catalog().datasets {
+        datasets.row(vec![
+            meta.name.clone(),
+            meta.n_days.to_string(),
+            meta.n_sensors.to_string(),
+            meta.n_raw_records.to_string(),
+            pct(meta.atypical_fraction()),
+        ]);
+    }
+    datasets.row(vec![
+        "TOTAL".into(),
+        wb.store.catalog().total_days().to_string(),
+        wb.network().num_sensors().to_string(),
+        wb.store.catalog().total_raw_records().to_string(),
+        pct(
+            wb.store.catalog().total_atypical_records() as f64
+                / wb.store.catalog().total_raw_records().max(1) as f64,
+        ),
+    ]);
+
+    let p = Params::paper_defaults();
+    let mut params = Table::new(
+        "Figure 14: parameters (paper ranges, defaults)",
+        &["parameter", "range", "default"],
+    );
+    params.row(vec!["δs".into(), "2% – 20%".into(), pct(p.delta_s)]);
+    params.row(vec![
+        "δd".into(),
+        "1.5 – 24 mile".into(),
+        format!("{} mile", p.delta_d_miles),
+    ]);
+    params.row(vec![
+        "δt".into(),
+        "15 – 80 min".into(),
+        format!("{} min", p.delta_t_minutes),
+    ]);
+    params.row(vec!["δsim".into(), "0.1 – 1".into(), p.delta_sim.to_string()]);
+    params.row(vec![
+        "g".into(),
+        "max/min/avg/geo/har".into(),
+        p.balance.label().into(),
+    ]);
+    vec![datasets, params]
+}

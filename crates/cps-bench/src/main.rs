@@ -1,0 +1,174 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [OPTIONS] <COMMAND>
+//!
+//! Commands:
+//!   settings         Figure 14: datasets and parameters
+//!   fig15 | fig16    Figures 15/16: construction time and model size
+//!   fig17            Figure 17: query time and input clusters
+//!   fig18            Figure 18: precision/recall vs range
+//!   fig19            Figure 19: precision/recall vs δs
+//!   fig20            Figure 20: #clusters vs δt and δd
+//!   fig21            Figure 21: severity of significant clusters vs δsim × g
+//!   ablate           Red-zone and retrieval ablations
+//!   all              Everything above
+//!
+//! Options:
+//!   --scale <tiny|small|medium|paper>   deployment scale (default tiny)
+//!   --seed <u64>                        generator seed (default 42)
+//!   --datasets <k>                      datasets for fig15/16 (default 12)
+//!   --days <n>                          days per dataset (default 30)
+//!   --out <dir>                         results directory (default results/)
+//! ```
+
+use cps_bench::figs;
+use cps_bench::{ReproConfig, Table, Workbench};
+use cps_core::Params;
+use cps_sim::Scale;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    scale: Scale,
+    seed: u64,
+    datasets: u32,
+    days: u32,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        scale: Scale::Tiny,
+        seed: 42,
+        datasets: 12,
+        days: 30,
+        out: "results".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                let v = grab("--scale")?;
+                args.scale =
+                    Scale::parse(&v).ok_or_else(|| format!("unknown scale '{v}'"))?;
+            }
+            "--seed" => args.seed = grab("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--datasets" => {
+                args.datasets = grab("--datasets")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--days" => args.days = grab("--days")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = grab("--out")?,
+            cmd if !cmd.starts_with('-') && args.command.is_empty() => {
+                args.command = cmd.to_string();
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.command.is_empty() {
+        return Err("no command given".to_string());
+    }
+    Ok(args)
+}
+
+fn emit(tables: Vec<Table>, out_dir: &std::path::Path, slug_prefix: &str) {
+    for (i, table) in tables.iter().enumerate() {
+        table.print();
+        let slug = if tables.len() == 1 {
+            slug_prefix.to_string()
+        } else {
+            format!("{slug_prefix}-{}", (b'a' + i as u8) as char)
+        };
+        if let Err(e) = table.save_json(out_dir, &slug) {
+            eprintln!("warning: could not save {slug}.json: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|all>");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = ReproConfig::new(args.scale, args.seed);
+    config.n_datasets = args.datasets;
+    config.days_per_dataset = args.days;
+    config.out_dir = args.out.clone().into();
+    let out_dir = config.out_dir.clone();
+
+    let wb = match Workbench::prepare(config) {
+        Ok(wb) => wb,
+        Err(e) => {
+            eprintln!("error preparing workbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = Params::paper_defaults();
+
+    let run = |name: &str| -> Result<(), cps_core::CpsError> {
+        match name {
+            "settings" => emit(figs::settings::run(&wb), &out_dir, "fig14"),
+            "diag" => emit(figs::diag::run(&wb, &params)?, &out_dir, "diag"),
+            "fig15" | "fig16" => emit(
+                figs::construction::run(&wb, args.datasets, &params)?,
+                &out_dir,
+                "fig15-16",
+            ),
+            "fig17" => emit(figs::query_cost::run(&wb, &params, 3)?, &out_dir, "fig17"),
+            "fig18" => emit(
+                figs::effectiveness::run_vs_range(&wb, &params)?,
+                &out_dir,
+                "fig18",
+            ),
+            "fig19" => emit(
+                figs::effectiveness::run_vs_delta_s(&wb, &params)?,
+                &out_dir,
+                "fig19",
+            ),
+            "fig20" => emit(figs::cluster_counts::run(&wb, &params)?, &out_dir, "fig20"),
+            "fig21" => emit(figs::balance::run(&wb, &params)?, &out_dir, "fig21"),
+            "predict" => emit(figs::prediction::run(&wb, &params)?, &out_dir, "predict"),
+            "context" => emit(figs::context::run(&wb, &params)?, &out_dir, "context"),
+            "ablate" => {
+                emit(figs::ablation::run_redzone(&wb, &params)?, &out_dir, "ablate-redzone");
+                emit(
+                    figs::ablation::run_retrieval(&wb, &params)?,
+                    &out_dir,
+                    "ablate-retrieval",
+                );
+            }
+            other => {
+                eprintln!("unknown command '{other}'");
+                std::process::exit(2);
+            }
+        }
+        Ok(())
+    };
+
+    let result = if args.command == "all" {
+        [
+            "settings", "fig15", "fig17", "fig18", "fig19", "fig20", "fig21", "ablate",
+            "predict", "context",
+        ]
+        .iter()
+        .try_for_each(|c| run(c))
+    } else {
+        run(&args.command)
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! A fast, non-cryptographic hasher for hot integer-keyed maps.
+//!
+//! The pipeline's inner loops are dominated by `SensorId`/`TimeWindow` keyed
+//! hash maps (cluster features, grid buckets). SipHash — the standard
+//! library's default — is needlessly slow for 4-byte integer keys, so this
+//! module provides the classic *Fx* multiply-xor hash (as used by rustc) and
+//! map/set aliases. HashDoS resistance is irrelevant here: keys come from
+//! the deployment's own sensor catalog, not an adversary.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher (Fx). Very fast for short integer keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SensorId, TimeWindow};
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<SensorId, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(SensorId::new(i), i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&SensorId::new(500)], 1000);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_stream_and_word_paths_cover_tails() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_deduplicates_windows() {
+        let mut s: FxHashSet<TimeWindow> = FxHashSet::default();
+        for i in [1u32, 2, 2, 3, 3, 3] {
+            s.insert(TimeWindow::new(i));
+        }
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn low_collision_on_dense_integers() {
+        use std::collections::HashSet;
+        let hashes: HashSet<u64> = (0..10_000u64)
+            .map(|x| {
+                let mut h = FxHasher::default();
+                h.write_u64(x);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+}

@@ -1,0 +1,174 @@
+//! Measure classification (Gray et al.'s data-cube taxonomy).
+//!
+//! The paper's correctness arguments hinge on which class each measure falls
+//! in:
+//!
+//! * **distributive** — computable from sub-aggregate values of the *same*
+//!   measure (`sum`, `count`). Property 4: the total severity `F(W, T)` is
+//!   distributive, which is what makes the red-zone bound cheap to compute.
+//! * **algebraic** — computable by a bounded-arity function of distributive
+//!   arguments. Property 2: the spatial/temporal features of atypical
+//!   clusters are algebraic, so merging clusters is linear in feature size.
+//! * **holistic** — no constant-size sub-aggregate summary exists. Property
+//!   1: the raw atypical *event* (the set of records) is holistic, which is
+//!   why the paper replaces it with the micro-cluster summary.
+//!
+//! These traits exist so the type system documents (and the tests verify)
+//! the aggregation contract of each summary type.
+
+use crate::Severity;
+
+/// Classification tag for a measure or summary model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MeasureClass {
+    /// Derivable by combining sub-aggregates of the same measure.
+    Distributive,
+    /// Derivable by a bounded-arity function of distributive arguments.
+    Algebraic,
+    /// Requires unbounded storage to summarize sub-aggregates.
+    Holistic,
+}
+
+/// A measure that can be merged from two sub-aggregates of itself.
+///
+/// `merge` must be commutative and associative, with `identity()` the neutral
+/// element — together these make any aggregation order valid, which is what
+/// both the bottom-up cube and the atypical forest exploit.
+pub trait DistributiveMeasure: Sized {
+    /// The neutral element (`merge(x, identity()) == x`).
+    fn identity() -> Self;
+    /// Combines two sub-aggregates.
+    fn merge(self, other: Self) -> Self;
+    /// Reports this measure's class (always `Distributive` here).
+    fn class() -> MeasureClass {
+        MeasureClass::Distributive
+    }
+}
+
+impl DistributiveMeasure for Severity {
+    fn identity() -> Self {
+        Severity::ZERO
+    }
+    fn merge(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+impl DistributiveMeasure for u64 {
+    fn identity() -> Self {
+        0
+    }
+    fn merge(self, other: Self) -> Self {
+        self.saturating_add(other)
+    }
+}
+
+/// Count + total pair: the distributive ingredients of a mean.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountAndTotal {
+    /// Number of contributing records.
+    pub count: u64,
+    /// Total severity of contributing records.
+    pub total: Severity,
+}
+
+impl DistributiveMeasure for CountAndTotal {
+    fn identity() -> Self {
+        Self::default()
+    }
+    fn merge(self, other: Self) -> Self {
+        Self {
+            count: self.count + other.count,
+            total: self.total + other.total,
+        }
+    }
+}
+
+impl CountAndTotal {
+    /// Adds one record.
+    pub fn push(&mut self, severity: Severity) {
+        self.count += 1;
+        self.total += severity;
+    }
+
+    /// The algebraic mean severity derived from the two distributive parts.
+    pub fn mean(self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total.as_minutes() / self.count as f64
+        }
+    }
+}
+
+/// An algebraic summary: merged via a bounded set of distributive components.
+pub trait AlgebraicSummary: Sized {
+    /// Merges two summaries of disjoint record sets into the summary of
+    /// their union.
+    fn merge_with(&mut self, other: &Self);
+    /// Reports this summary's class (always `Algebraic` here).
+    fn class() -> MeasureClass {
+        MeasureClass::Algebraic
+    }
+}
+
+/// Marker trait documenting that a model is holistic (paper Property 1).
+pub trait HolisticModel {
+    /// Reports this model's class (always `Holistic`).
+    fn class() -> MeasureClass {
+        MeasureClass::Holistic
+    }
+}
+
+/// Folds any iterator of distributive measures, in any order.
+pub fn aggregate<M, I>(items: I) -> M
+where
+    M: DistributiveMeasure,
+    I: IntoIterator<Item = M>,
+{
+    items.into_iter().fold(M::identity(), M::merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn severity_is_distributive() {
+        assert_eq!(Severity::class(), MeasureClass::Distributive);
+        let parts = vec![
+            Severity::from_secs(10),
+            Severity::from_secs(20),
+            Severity::from_secs(30),
+        ];
+        assert_eq!(aggregate::<Severity, _>(parts), Severity::from_secs(60));
+    }
+
+    #[test]
+    fn count_and_total_gives_algebraic_mean() {
+        let mut a = CountAndTotal::default();
+        a.push(Severity::from_minutes(2.0));
+        a.push(Severity::from_minutes(4.0));
+        let mut b = CountAndTotal::default();
+        b.push(Severity::from_minutes(6.0));
+        let merged = a.merge(b);
+        assert_eq!(merged.count, 3);
+        assert!((merged.mean() - 4.0).abs() < 1e-9);
+        assert_eq!(CountAndTotal::default().mean(), 0.0);
+    }
+
+    proptest! {
+        /// Distributivity: splitting the input arbitrarily never changes the
+        /// aggregate (Property 4's essence).
+        #[test]
+        fn prop_partition_invariance(xs in prop::collection::vec(0u64..1_000_000, 0..50), split in 0usize..50) {
+            let sevs: Vec<Severity> = xs.iter().map(|&s| Severity::from_secs(s)).collect();
+            let k = split.min(sevs.len());
+            let left: Severity = aggregate(sevs[..k].iter().copied());
+            let right: Severity = aggregate(sevs[k..].iter().copied());
+            let whole: Severity = aggregate(sevs.iter().copied());
+            prop_assert_eq!(left.merge(right), whole);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Raw and atypical CPS records.
+//!
+//! A [`RawRecord`] is one sensor reading for one time window — for the
+//! traffic scenario: average speed, flow and occupancy, the three quantities
+//! PeMS loop detectors report. The pre-processing stage (paper §II-A, the
+//! *PR* step of the evaluation) applies the application's **atypical
+//! criterion** to each raw record and keeps the violating ones as
+//! [`AtypicalRecord`]s `(s, t, f(s,t))`.
+
+use crate::{Severity, TimeWindow, WindowSpec};
+use crate::ids::SensorId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One raw sensor reading for one time window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RawRecord {
+    /// Reporting sensor.
+    pub sensor: SensorId,
+    /// Window the reading covers.
+    pub window: TimeWindow,
+    /// Mean speed over the window, miles per hour.
+    pub speed_mph: f32,
+    /// Vehicle count over the window.
+    pub flow: u16,
+    /// Mean lane occupancy over the window, in per-mille (0..=1000).
+    pub occupancy_pm: u16,
+}
+
+impl RawRecord {
+    /// Creates a raw reading.
+    pub fn new(
+        sensor: SensorId,
+        window: TimeWindow,
+        speed_mph: f32,
+        flow: u16,
+        occupancy_pm: u16,
+    ) -> Self {
+        Self {
+            sensor,
+            window,
+            speed_mph,
+            flow,
+            occupancy_pm,
+        }
+    }
+}
+
+/// The atypical criterion: decides whether a raw record is atypical and, if
+/// so, how severe it is.
+///
+/// The paper assumes the criterion is given per application (§II-A). The
+/// default [`SpeedThreshold`] criterion models freeway congestion: a window
+/// is atypical when mean speed drops below a threshold, and the atypical
+/// duration grows with how far below the threshold the speed is.
+pub trait AtypicalCriterion {
+    /// Returns the record's severity if it is atypical, `None` otherwise.
+    fn classify(&self, record: &RawRecord) -> Option<Severity>;
+}
+
+/// Congestion criterion: atypical when `speed < threshold_mph`.
+///
+/// Severity is the fraction of the window spent congested, estimated as
+/// `(threshold − speed) / threshold` of the window length, floored at one
+/// minute — a sensor just below the threshold congests briefly; a stopped
+/// sensor congests the whole window. This mirrors how PeMS derives delay
+/// from speed deficit.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeedThreshold {
+    /// Speed below which a window counts as congested.
+    pub threshold_mph: f32,
+    /// Window discretization (fixes the maximum severity per window).
+    pub spec: WindowSpec,
+}
+
+impl SpeedThreshold {
+    /// The conventional 40 mph freeway congestion threshold with 5-minute
+    /// windows.
+    pub fn pems_default() -> Self {
+        Self {
+            threshold_mph: 40.0,
+            spec: WindowSpec::PEMS,
+        }
+    }
+}
+
+impl AtypicalCriterion for SpeedThreshold {
+    fn classify(&self, record: &RawRecord) -> Option<Severity> {
+        if record.speed_mph >= self.threshold_mph || self.threshold_mph <= 0.0 {
+            return None;
+        }
+        let deficit = f64::from((self.threshold_mph - record.speed_mph) / self.threshold_mph);
+        let window_secs = u64::from(self.spec.window_minutes) * 60;
+        let secs = ((window_secs as f64) * deficit).round().max(60.0) as u64;
+        Some(Severity::from_secs(secs.min(window_secs)))
+    }
+}
+
+/// One atypical record `(s, t, f(s, t))` — the unit of all downstream
+/// analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AtypicalRecord {
+    /// Reporting sensor.
+    pub sensor: SensorId,
+    /// Window of the atypical reading.
+    pub window: TimeWindow,
+    /// Atypical duration within the window.
+    pub severity: Severity,
+}
+
+impl AtypicalRecord {
+    /// Creates an atypical record.
+    pub fn new(sensor: SensorId, window: TimeWindow, severity: Severity) -> Self {
+        Self {
+            sensor,
+            window,
+            severity,
+        }
+    }
+}
+
+impl fmt::Display for AtypicalRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}, {}>", self.sensor, self.window, self.severity)
+    }
+}
+
+/// Applies `criterion` to a stream of raw records, yielding the atypical
+/// ones — the *PR* (pre-processing) stage of the paper's evaluation.
+pub fn preprocess<'a, C, I>(
+    criterion: &'a C,
+    raw: I,
+) -> impl Iterator<Item = AtypicalRecord> + 'a
+where
+    C: AtypicalCriterion,
+    I: IntoIterator<Item = RawRecord>,
+    I::IntoIter: 'a,
+{
+    raw.into_iter().filter_map(move |r| {
+        criterion
+            .classify(&r)
+            .map(|sev| AtypicalRecord::new(r.sensor, r.window, sev))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(speed: f32) -> RawRecord {
+        RawRecord::new(SensorId::new(1), TimeWindow::new(97), speed, 100, 300)
+    }
+
+    #[test]
+    fn fast_traffic_is_typical() {
+        let c = SpeedThreshold::pems_default();
+        assert_eq!(c.classify(&raw(65.0)), None);
+        assert_eq!(c.classify(&raw(40.0)), None);
+    }
+
+    #[test]
+    fn stopped_traffic_fills_the_window() {
+        let c = SpeedThreshold::pems_default();
+        let sev = c.classify(&raw(0.0)).unwrap();
+        assert_eq!(sev, Severity::from_minutes(5.0));
+    }
+
+    #[test]
+    fn mild_congestion_gets_at_least_a_minute() {
+        let c = SpeedThreshold::pems_default();
+        let sev = c.classify(&raw(39.9)).unwrap();
+        assert_eq!(sev, Severity::from_secs(60));
+    }
+
+    #[test]
+    fn severity_scales_with_speed_deficit() {
+        let c = SpeedThreshold::pems_default();
+        let half = c.classify(&raw(20.0)).unwrap();
+        assert_eq!(half, Severity::from_secs(150)); // half of a 5-min window
+        let deep = c.classify(&raw(10.0)).unwrap();
+        assert!(deep > half);
+    }
+
+    #[test]
+    fn preprocess_filters_and_converts() {
+        let c = SpeedThreshold::pems_default();
+        let raws = vec![raw(65.0), raw(10.0), raw(55.0), raw(0.0)];
+        let atypical: Vec<AtypicalRecord> = preprocess(&c, raws).collect();
+        assert_eq!(atypical.len(), 2);
+        assert!(atypical.iter().all(|r| r.sensor == SensorId::new(1)));
+        assert!(atypical[1].severity > atypical[0].severity);
+    }
+
+    #[test]
+    fn record_display_matches_paper_notation() {
+        let r = AtypicalRecord::new(
+            SensorId::new(1),
+            TimeWindow::new(97),
+            Severity::from_minutes(4.0),
+        );
+        assert_eq!(format!("{r}"), "<s1, t97, 4 min>");
+    }
+
+    #[test]
+    fn degenerate_threshold_never_matches() {
+        let c = SpeedThreshold {
+            threshold_mph: 0.0,
+            spec: WindowSpec::PEMS,
+        };
+        assert_eq!(c.classify(&raw(0.0)), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! The severity measure `f(s, t)`.
+//!
+//! The paper adopts *atypical duration* — how long sensor `s` reported
+//! atypical readings within window `t` — as its severity measure, while
+//! noting the framework works for any non-negative numeric measure.
+//!
+//! [`Severity`] stores the duration as integer **seconds**. Integer storage
+//! makes severity addition exactly commutative and associative, which is what
+//! lets the merge operation satisfy the paper's Property 3 *exactly* (and
+//! lets the property-based tests assert it with `==` instead of an epsilon).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Non-negative atypical duration, stored in whole seconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+)]
+pub struct Severity(u64);
+
+impl Severity {
+    /// The zero severity.
+    pub const ZERO: Severity = Severity(0);
+
+    /// Creates a severity from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Severity(secs)
+    }
+
+    /// Creates a severity from (possibly fractional) minutes; rounds to the
+    /// nearest second and clamps negatives to zero.
+    #[inline]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Severity((minutes * 60.0).round().max(0.0) as u64)
+    }
+
+    /// Duration in whole seconds.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in minutes (fractional).
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Whether this is the zero severity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating difference (`self - other`, clamped at zero).
+    #[inline]
+    pub fn saturating_sub(self, other: Severity) -> Severity {
+        Severity(self.0.saturating_sub(other.0))
+    }
+
+    /// Fraction `self / total` in `[0, 1]`; zero when `total` is zero.
+    #[inline]
+    pub fn fraction_of(self, total: Severity) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+
+    /// Scales the severity by a non-negative factor (rounds to seconds).
+    #[inline]
+    pub fn scale(self, factor: f64) -> Severity {
+        Severity((self.0 as f64 * factor.max(0.0)).round() as u64)
+    }
+}
+
+impl Add for Severity {
+    type Output = Severity;
+    #[inline]
+    fn add(self, rhs: Severity) -> Severity {
+        Severity(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Severity {
+    #[inline]
+    fn add_assign(&mut self, rhs: Severity) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sum for Severity {
+    fn sum<I: Iterator<Item = Severity>>(iter: I) -> Severity {
+        iter.fold(Severity::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Severity> for Severity {
+    fn sum<I: Iterator<Item = &'a Severity>>(iter: I) -> Severity {
+        iter.copied().sum()
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.as_minutes();
+        if (m - m.round()).abs() < 1e-9 {
+            write!(f, "{} min", m.round() as i64)
+        } else {
+            write!(f, "{m:.2} min")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn minute_conversions() {
+        let s = Severity::from_minutes(4.0);
+        assert_eq!(s.as_secs(), 240);
+        assert_eq!(s.as_minutes(), 4.0);
+        assert_eq!(format!("{s}"), "4 min");
+        assert_eq!(format!("{}", Severity::from_secs(90)), "1.50 min");
+    }
+
+    #[test]
+    fn negative_minutes_clamp_to_zero() {
+        assert_eq!(Severity::from_minutes(-3.0), Severity::ZERO);
+    }
+
+    #[test]
+    fn fraction_handles_zero_total() {
+        assert_eq!(Severity::from_secs(5).fraction_of(Severity::ZERO), 0.0);
+        assert_eq!(
+            Severity::from_secs(5).fraction_of(Severity::from_secs(10)),
+            0.5
+        );
+    }
+
+    #[test]
+    fn sum_and_saturating_sub() {
+        let total: Severity = [1u64, 2, 3].iter().map(|&s| Severity::from_secs(s)).sum();
+        assert_eq!(total, Severity::from_secs(6));
+        assert_eq!(
+            Severity::from_secs(2).saturating_sub(Severity::from_secs(5)),
+            Severity::ZERO
+        );
+    }
+
+    #[test]
+    fn scale_rounds() {
+        assert_eq!(Severity::from_secs(10).scale(0.25), Severity::from_secs(3));
+        assert_eq!(Severity::from_secs(10).scale(-1.0), Severity::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_addition_commutative_associative(a in 0u64..1u64<<40, b in 0u64..1u64<<40, c in 0u64..1u64<<40) {
+            let (a, b, c) = (Severity::from_secs(a), Severity::from_secs(b), Severity::from_secs(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_fraction_in_unit_interval(a in 0u64..1u64<<40, b in 1u64..1u64<<40) {
+            let f = Severity::from_secs(a.min(b)).fraction_of(Severity::from_secs(b));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Discrete time: windows, ranges and the calendar hierarchy.
+//!
+//! CPS sensors report once per fixed-length *time window* (5 minutes in the
+//! PeMS deployment the paper evaluates on). A [`TimeWindow`] is the index of
+//! such a window counted from the epoch of the observation period; the
+//! [`WindowSpec`] of a deployment fixes the window length and provides the
+//! calendar arithmetic (window → hour/day/week/month) that the aggregation
+//! hierarchies of both CubeView and the atypical forest are built on.
+
+use crate::Severity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of one fixed-length time window since the deployment epoch.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+)]
+pub struct TimeWindow(pub u32);
+
+impl TimeWindow {
+    /// Builds a window from its raw index.
+    #[inline]
+    pub const fn new(idx: u32) -> Self {
+        Self(idx)
+    }
+
+    /// Raw window index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Absolute distance to another window, in windows.
+    #[inline]
+    pub fn gap(self, other: TimeWindow) -> u32 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// The window `n` steps later.
+    #[inline]
+    pub fn offset(self, n: i64) -> TimeWindow {
+        TimeWindow((self.0 as i64 + n).max(0) as u32)
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Deployment-wide description of the time discretization.
+///
+/// Provides the window ↔ calendar conversions used by the temporal concept
+/// hierarchy (`window → hour → day → week → month`). Months are modelled as
+/// fixed 30-day periods — the paper's datasets are monthly partitions and the
+/// analysis never needs true calendar months, only a consistent hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Length of one window, in minutes.
+    pub window_minutes: u32,
+}
+
+impl WindowSpec {
+    /// PeMS-style 5-minute windows.
+    pub const PEMS: WindowSpec = WindowSpec { window_minutes: 5 };
+
+    /// Creates a spec with the given window length in minutes.
+    ///
+    /// # Panics
+    /// Panics if `window_minutes` is zero or does not divide 60 (the calendar
+    /// hierarchy requires whole windows per hour).
+    pub fn new(window_minutes: u32) -> Self {
+        assert!(window_minutes > 0, "window length must be positive");
+        assert!(
+            60 % window_minutes == 0,
+            "window length must divide 60 minutes"
+        );
+        Self { window_minutes }
+    }
+
+    /// Number of windows in one hour.
+    #[inline]
+    pub const fn windows_per_hour(self) -> u32 {
+        60 / self.window_minutes
+    }
+
+    /// Number of windows in one day.
+    #[inline]
+    pub const fn windows_per_day(self) -> u32 {
+        24 * self.windows_per_hour()
+    }
+
+    /// Number of windows in one (7-day) week.
+    #[inline]
+    pub const fn windows_per_week(self) -> u32 {
+        7 * self.windows_per_day()
+    }
+
+    /// Number of windows in one (30-day) month partition.
+    #[inline]
+    pub const fn windows_per_month(self) -> u32 {
+        30 * self.windows_per_day()
+    }
+
+    /// Day index (0-based from the epoch) containing `w`.
+    #[inline]
+    pub fn day_of(self, w: TimeWindow) -> u32 {
+        w.0 / self.windows_per_day()
+    }
+
+    /// Hour index (0-based from the epoch) containing `w`.
+    #[inline]
+    pub fn hour_of(self, w: TimeWindow) -> u32 {
+        w.0 / self.windows_per_hour()
+    }
+
+    /// Week index (0-based from the epoch) containing `w`.
+    #[inline]
+    pub fn week_of(self, w: TimeWindow) -> u32 {
+        w.0 / self.windows_per_week()
+    }
+
+    /// Month-partition index (0-based from the epoch) containing `w`.
+    #[inline]
+    pub fn month_of(self, w: TimeWindow) -> u32 {
+        w.0 / self.windows_per_month()
+    }
+
+    /// Hour of day in `[0, 24)` for `w` — used by rush-hour profiles.
+    #[inline]
+    pub fn hour_of_day(self, w: TimeWindow) -> u32 {
+        self.hour_of(w) % 24
+    }
+
+    /// Day of week in `[0, 7)` for `w` (0 = the epoch's weekday).
+    #[inline]
+    pub fn day_of_week(self, w: TimeWindow) -> u32 {
+        self.day_of(w) % 7
+    }
+
+    /// Whether `w` falls on a weekend, treating days 5 and 6 of each week as
+    /// the weekend (the epoch is day 0, a Monday by convention).
+    #[inline]
+    pub fn is_weekend(self, w: TimeWindow) -> bool {
+        self.day_of_week(w) >= 5
+    }
+
+    /// The range of windows covering days `[first_day, first_day + n_days)`.
+    pub fn day_range(self, first_day: u32, n_days: u32) -> TimeRange {
+        let wpd = self.windows_per_day();
+        TimeRange::new(
+            TimeWindow(first_day * wpd),
+            TimeWindow((first_day + n_days) * wpd),
+        )
+    }
+
+    /// The full severity available in one window (its entire duration).
+    #[inline]
+    pub fn full_window_severity(self) -> Severity {
+        Severity::from_minutes(self.window_minutes as f64)
+    }
+
+    /// Human-readable `HH:MM` label for the start of `w` within its day.
+    pub fn clock_label(self, w: TimeWindow) -> String {
+        let minute_of_day = (w.0 % self.windows_per_day()) * self.window_minutes;
+        format!("{:02}:{:02}", minute_of_day / 60, minute_of_day % 60)
+    }
+}
+
+impl Default for WindowSpec {
+    fn default() -> Self {
+        Self::PEMS
+    }
+}
+
+/// Half-open range of time windows `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// First window inside the range.
+    pub start: TimeWindow,
+    /// First window after the range.
+    pub end: TimeWindow,
+}
+
+impl TimeRange {
+    /// Creates the range `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn new(start: TimeWindow, end: TimeWindow) -> Self {
+        assert!(start.0 <= end.0, "TimeRange start must not exceed end");
+        Self { start, end }
+    }
+
+    /// The empty range at zero.
+    pub const EMPTY: TimeRange = TimeRange {
+        start: TimeWindow(0),
+        end: TimeWindow(0),
+    };
+
+    /// Number of windows in the range.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.end.0 - self.start.0
+    }
+
+    /// Whether the range contains no windows.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.start.0 == self.end.0
+    }
+
+    /// Whether `w` lies inside the range.
+    #[inline]
+    pub fn contains(self, w: TimeWindow) -> bool {
+        self.start.0 <= w.0 && w.0 < self.end.0
+    }
+
+    /// Whether the two ranges share at least one window.
+    #[inline]
+    pub fn overlaps(self, other: TimeRange) -> bool {
+        self.start.0 < other.end.0 && other.start.0 < self.end.0
+    }
+
+    /// The intersection of two ranges (possibly empty).
+    pub fn intersect(self, other: TimeRange) -> TimeRange {
+        let start = self.start.0.max(other.start.0);
+        let end = self.end.0.min(other.end.0);
+        if start >= end {
+            TimeRange::EMPTY
+        } else {
+            TimeRange::new(TimeWindow(start), TimeWindow(end))
+        }
+    }
+
+    /// The smallest range covering both inputs.
+    pub fn cover(self, other: TimeRange) -> TimeRange {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        TimeRange::new(
+            TimeWindow(self.start.0.min(other.start.0)),
+            TimeWindow(self.end.0.max(other.end.0)),
+        )
+    }
+
+    /// Iterates over the windows in the range.
+    pub fn iter(self) -> impl Iterator<Item = TimeWindow> {
+        (self.start.0..self.end.0).map(TimeWindow)
+    }
+
+    /// Total duration of the range in minutes under `spec`.
+    pub fn minutes(self, spec: WindowSpec) -> u64 {
+        self.len() as u64 * spec.window_minutes as u64
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t{}, t{})", self.start.0, self.end.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn window_gap_is_symmetric() {
+        let a = TimeWindow::new(10);
+        let b = TimeWindow::new(4);
+        assert_eq!(a.gap(b), 6);
+        assert_eq!(b.gap(a), 6);
+        assert_eq!(a.gap(a), 0);
+    }
+
+    #[test]
+    fn offset_saturates_at_zero() {
+        assert_eq!(TimeWindow::new(2).offset(-5), TimeWindow::new(0));
+        assert_eq!(TimeWindow::new(2).offset(3), TimeWindow::new(5));
+    }
+
+    #[test]
+    fn pems_spec_calendar() {
+        let s = WindowSpec::PEMS;
+        assert_eq!(s.windows_per_hour(), 12);
+        assert_eq!(s.windows_per_day(), 288);
+        assert_eq!(s.windows_per_week(), 2016);
+        assert_eq!(s.windows_per_month(), 8640);
+        // 8:05am on day 0 = window 97.
+        let w = TimeWindow::new(8 * 12 + 1);
+        assert_eq!(s.hour_of_day(w), 8);
+        assert_eq!(s.day_of(w), 0);
+        assert_eq!(s.clock_label(w), "08:05");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 60")]
+    fn spec_rejects_nondividing_window() {
+        WindowSpec::new(7);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        let s = WindowSpec::PEMS;
+        let day = |d: u32| TimeWindow::new(d * s.windows_per_day() + 5);
+        assert!(!s.is_weekend(day(0)));
+        assert!(!s.is_weekend(day(4)));
+        assert!(s.is_weekend(day(5)));
+        assert!(s.is_weekend(day(6)));
+        assert!(!s.is_weekend(day(7)));
+    }
+
+    #[test]
+    fn day_range_covers_whole_days() {
+        let s = WindowSpec::PEMS;
+        let r = s.day_range(2, 3);
+        assert_eq!(r.len(), 3 * 288);
+        assert!(r.contains(TimeWindow::new(2 * 288)));
+        assert!(!r.contains(TimeWindow::new(5 * 288)));
+        assert_eq!(r.minutes(s), 3 * 24 * 60);
+    }
+
+    #[test]
+    fn range_set_ops() {
+        let a = TimeRange::new(TimeWindow(0), TimeWindow(10));
+        let b = TimeRange::new(TimeWindow(5), TimeWindow(15));
+        let c = TimeRange::new(TimeWindow(20), TimeWindow(25));
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert_eq!(a.intersect(b), TimeRange::new(TimeWindow(5), TimeWindow(10)));
+        assert!(a.intersect(c).is_empty());
+        assert_eq!(a.cover(c), TimeRange::new(TimeWindow(0), TimeWindow(25)));
+        assert_eq!(a.cover(TimeRange::EMPTY), a);
+    }
+
+    #[test]
+    fn range_iter_yields_each_window() {
+        let r = TimeRange::new(TimeWindow(3), TimeWindow(6));
+        let ws: Vec<u32> = r.iter().map(|w| w.raw()).collect();
+        assert_eq!(ws, vec![3, 4, 5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersect_subset_of_both(
+            a0 in 0u32..1000, al in 0u32..1000,
+            b0 in 0u32..1000, bl in 0u32..1000,
+        ) {
+            let a = TimeRange::new(TimeWindow(a0), TimeWindow(a0 + al));
+            let b = TimeRange::new(TimeWindow(b0), TimeWindow(b0 + bl));
+            let i = a.intersect(b);
+            for w in i.iter() {
+                prop_assert!(a.contains(w) && b.contains(w));
+            }
+            prop_assert_eq!(a.intersect(b), b.intersect(a));
+        }
+
+        #[test]
+        fn prop_cover_contains_both(
+            a0 in 0u32..1000, al in 1u32..1000,
+            b0 in 0u32..1000, bl in 1u32..1000,
+        ) {
+            let a = TimeRange::new(TimeWindow(a0), TimeWindow(a0 + al));
+            let b = TimeRange::new(TimeWindow(b0), TimeWindow(b0 + bl));
+            let c = a.cover(b);
+            for w in a.iter().chain(b.iter()) {
+                prop_assert!(c.contains(w));
+            }
+        }
+
+        #[test]
+        fn prop_calendar_consistency(widx in 0u32..10_000_000, wm in prop::sample::select(vec![1u32,5,10,15,30,60])) {
+            let s = WindowSpec::new(wm);
+            let w = TimeWindow::new(widx);
+            prop_assert_eq!(s.day_of(w), s.hour_of(w) / 24);
+            prop_assert_eq!(s.week_of(w), s.day_of(w) / 7);
+            prop_assert_eq!(s.month_of(w), s.day_of(w) / 30);
+            prop_assert!(s.hour_of_day(w) < 24);
+        }
+    }
+}

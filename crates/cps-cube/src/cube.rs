@@ -1,0 +1,373 @@
+//! The spatio-temporal cube.
+
+use crate::hierarchy::TemporalLevel;
+use cps_core::fx::FxHashMap;
+use cps_core::measure::{CountAndTotal, DistributiveMeasure};
+use cps_core::record::{AtypicalCriterion, SpeedThreshold};
+use cps_core::{
+    AtypicalRecord, DatasetId, RawRecord, RegionId, Result, Severity, TimeWindow, WindowSpec,
+};
+use cps_geo::grid::RegionHierarchy;
+use cps_storage::{DatasetStore, IoStats};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cell address in a cuboid: (spatial level, region, temporal level, bucket).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Region at the cuboid's spatial level.
+    pub region: RegionId,
+    /// Time bucket at the cuboid's temporal level.
+    pub bucket: u32,
+}
+
+type Cuboid = FxHashMap<CellKey, CountAndTotal>;
+
+/// Bottom-up aggregated cube over a region hierarchy and the temporal
+/// hierarchy. Stores the finest cuboid (spatial level 0 × hour) and rolls
+/// up on demand; rolled-up cuboids are memoized.
+pub struct SpatioTemporalCube {
+    hierarchy: RegionHierarchy,
+    spec: WindowSpec,
+    /// (spatial level, temporal level) → cuboid. Entry (0, Hour) is the
+    /// base.
+    cuboids: FxHashMap<(usize, TemporalLevel), Cuboid>,
+}
+
+impl SpatioTemporalCube {
+    /// Creates an empty cube.
+    pub fn new(hierarchy: RegionHierarchy, spec: WindowSpec) -> Self {
+        let mut cuboids = FxHashMap::default();
+        cuboids.insert((0usize, TemporalLevel::Hour), Cuboid::default());
+        Self {
+            hierarchy,
+            spec,
+            cuboids,
+        }
+    }
+
+    /// Adds one measurement at (sensor, window).
+    pub fn add(&mut self, sensor: cps_core::SensorId, window: TimeWindow, severity: Severity) {
+        let region = self.hierarchy.finest().region_of(sensor);
+        let bucket = TemporalLevel::Hour.bucket_of(window, self.spec);
+        let base = self
+            .cuboids
+            .get_mut(&(0, TemporalLevel::Hour))
+            .expect("base cuboid always present");
+        base.entry(CellKey { region, bucket }).or_default().push(severity);
+        // Invalidate memoized roll-ups.
+        self.cuboids.retain(|&k, _| k == (0, TemporalLevel::Hour));
+    }
+
+    /// Adds an atypical record (severity measure).
+    pub fn add_atypical(&mut self, r: &AtypicalRecord) {
+        self.add(r.sensor, r.window, r.severity);
+    }
+
+    /// Adds a raw reading. The aggregated measure is *occupied time*
+    /// (occupancy × window length) — a standard PeMS statistic, so the OC
+    /// cube carries meaningful traffic totals for normal data too.
+    pub fn add_raw(&mut self, r: &RawRecord) {
+        let occupied_secs =
+            u64::from(self.spec.window_minutes) * 60 * u64::from(r.occupancy_pm) / 1000;
+        self.add(r.sensor, r.window, Severity::from_secs(occupied_secs));
+    }
+
+    /// Number of cells in the base cuboid.
+    pub fn base_cells(&self) -> usize {
+        self.cuboids[&(0, TemporalLevel::Hour)].len()
+    }
+
+    /// Approximate model size in bytes (Figure 16's `OC`/`MC` series): the
+    /// base cuboid only, since roll-ups are derived.
+    pub fn approx_bytes(&self) -> usize {
+        self.base_cells()
+            * (std::mem::size_of::<CellKey>() + std::mem::size_of::<CountAndTotal>())
+    }
+
+    /// Returns (memoizing) the cuboid at (spatial level, temporal level).
+    ///
+    /// # Panics
+    /// Panics if `temporal` is finer than the stored hour grain or the
+    /// spatial level is out of range.
+    pub fn cuboid(&mut self, spatial_level: usize, temporal: TemporalLevel) -> &Cuboid {
+        assert!(
+            temporal.at_least_as_coarse_as(TemporalLevel::Hour),
+            "cube stores hour grain; cannot drill to {temporal:?}"
+        );
+        assert!(spatial_level < self.hierarchy.num_levels());
+        if !self.cuboids.contains_key(&(spatial_level, temporal)) {
+            let base = &self.cuboids[&(0, TemporalLevel::Hour)];
+            let fine = self.hierarchy.finest();
+            let target = self.hierarchy.level(spatial_level);
+            let mut out = Cuboid::default();
+            for (key, measure) in base {
+                // Map the fine region to the coarser one through any member
+                // sensor (levels refine each other by construction).
+                let sensors = fine.sensors_in(key.region);
+                let region = if spatial_level == 0 {
+                    key.region
+                } else if let Some(&s) = sensors.first() {
+                    target.region_of(s)
+                } else {
+                    continue;
+                };
+                let bucket = temporal.bucket_of_hour(key.bucket);
+                let slot = out.entry(CellKey { region, bucket }).or_default();
+                *slot = slot.merge(*measure);
+            }
+            self.cuboids.insert((spatial_level, temporal), out);
+        }
+        &self.cuboids[&(spatial_level, temporal)]
+    }
+
+    /// Total severity in one cell of a cuboid.
+    pub fn cell(&mut self, spatial_level: usize, temporal: TemporalLevel, key: CellKey) -> CountAndTotal {
+        self.cuboid(spatial_level, temporal)
+            .get(&key)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Range aggregate: total measure over `[first_window, last_window)` in
+    /// all regions — `F(W, T)` for the whole deployment.
+    pub fn range_total(&self, first_window: TimeWindow, last_window: TimeWindow) -> CountAndTotal {
+        let lo = TemporalLevel::Hour.bucket_of(first_window, self.spec);
+        let hi = TemporalLevel::Hour.bucket_of(TimeWindow::new(last_window.raw().saturating_sub(1)), self.spec);
+        let base = &self.cuboids[&(0, TemporalLevel::Hour)];
+        base.iter()
+            .filter(|(k, _)| k.bucket >= lo && k.bucket <= hi)
+            .fold(CountAndTotal::default(), |acc, (_, &m)| acc.merge(m))
+    }
+
+    /// The grand total over all cells.
+    pub fn grand_total(&self) -> CountAndTotal {
+        self.cuboids[&(0, TemporalLevel::Hour)]
+            .values()
+            .fold(CountAndTotal::default(), |acc, &m| acc.merge(m))
+    }
+}
+
+/// Timing + size result of a cube construction run.
+pub struct CubeBuild {
+    /// The cube.
+    pub cube: SpatioTemporalCube,
+    /// Records consumed.
+    pub n_records: u64,
+    /// Wall-clock build time.
+    pub elapsed: Duration,
+}
+
+/// Builds the **MC** cube: modified CubeView over pre-processed atypical
+/// records only.
+pub fn build_mc(
+    store: &DatasetStore,
+    datasets: &[DatasetId],
+    hierarchy: RegionHierarchy,
+    io: Arc<IoStats>,
+) -> Result<CubeBuild> {
+    let start = Instant::now();
+    let spec = store.catalog().spec;
+    let mut cube = SpatioTemporalCube::new(hierarchy, spec);
+    let mut n_records = 0;
+    for &id in datasets {
+        for record in store.scan_atypical(id, Arc::clone(&io))? {
+            cube.add_atypical(&record?);
+            n_records += 1;
+        }
+    }
+    Ok(CubeBuild {
+        cube,
+        n_records,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Builds the **OC** cube: original CubeView over every raw reading.
+pub fn build_oc(
+    store: &DatasetStore,
+    datasets: &[DatasetId],
+    hierarchy: RegionHierarchy,
+    io: Arc<IoStats>,
+) -> Result<CubeBuild> {
+    let start = Instant::now();
+    let spec = store.catalog().spec;
+    let mut cube = SpatioTemporalCube::new(hierarchy, spec);
+    let mut n_records = 0;
+    for &id in datasets {
+        for record in store.scan_raw(id, Arc::clone(&io))? {
+            cube.add_raw(&record?);
+            n_records += 1;
+        }
+    }
+    Ok(CubeBuild {
+        cube,
+        n_records,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Runs the **PR** pre-processing step: scans the raw partitions, applies
+/// the atypical criterion and (re)writes the atypical partitions. Returns
+/// (records scanned, atypical selected, elapsed).
+pub fn preprocess_raw(
+    store: &DatasetStore,
+    datasets: &[DatasetId],
+    criterion: &SpeedThreshold,
+    io: Arc<IoStats>,
+) -> Result<(u64, u64, Duration)> {
+    let start = Instant::now();
+    let mut scanned = 0;
+    let mut selected = 0;
+    for &id in datasets {
+        for record in store.scan_raw(id, Arc::clone(&io))? {
+            let record = record?;
+            scanned += 1;
+            if criterion.classify(&record).is_some() {
+                selected += 1;
+            }
+        }
+    }
+    Ok((scanned, selected, start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::SensorId;
+    use cps_geo::RoadNetwork;
+    use cps_geo::point::LOS_ANGELES;
+
+    fn setup() -> (RoadNetwork, RegionHierarchy) {
+        let net = RoadNetwork::builder()
+            .highway(
+                "EW",
+                vec![
+                    LOS_ANGELES.offset_miles(0.0, -8.0),
+                    LOS_ANGELES.offset_miles(0.0, 8.0),
+                ],
+                0.5,
+            )
+            .build();
+        let h = RegionHierarchy::standard(&net, 2.0, 3);
+        (net, h)
+    }
+
+    #[test]
+    fn add_and_cell_lookup() {
+        let (_, h) = setup();
+        let spec = WindowSpec::PEMS;
+        let mut cube = SpatioTemporalCube::new(h, spec);
+        let sensor = SensorId::new(3);
+        cube.add(sensor, TimeWindow::new(100), Severity::from_minutes(4.0));
+        cube.add(sensor, TimeWindow::new(101), Severity::from_minutes(5.0));
+        assert_eq!(cube.base_cells(), 1, "windows 100/101 share hour 8");
+        let region = {
+            let mut c2 = SpatioTemporalCube::new(setup().1, spec);
+            c2.add(sensor, TimeWindow::new(100), Severity::ZERO);
+            *c2.cuboids[&(0, TemporalLevel::Hour)].keys().next().unwrap()
+        };
+        let got = cube.cell(0, TemporalLevel::Hour, region);
+        assert_eq!(got.count, 2);
+        assert_eq!(got.total, Severity::from_minutes(9.0));
+    }
+
+    #[test]
+    fn rollup_conserves_totals() {
+        let (net, h) = setup();
+        let spec = WindowSpec::PEMS;
+        let mut cube = SpatioTemporalCube::new(h, spec);
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            cube.add(
+                SensorId::new(rng.gen_range(0..net.num_sensors() as u32)),
+                TimeWindow::new(rng.gen_range(0..spec.windows_per_month())),
+                Severity::from_secs(rng.gen_range(30..300)),
+            );
+        }
+        let grand = cube.grand_total();
+        for s_level in 0..3 {
+            for t_level in [TemporalLevel::Hour, TemporalLevel::Day, TemporalLevel::Month] {
+                let total = cube
+                    .cuboid(s_level, t_level)
+                    .values()
+                    .fold(CountAndTotal::default(), |a, &m| a.merge(m));
+                assert_eq!(total, grand, "({s_level}, {t_level:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_levels_have_fewer_cells() {
+        let (net, h) = setup();
+        let spec = WindowSpec::PEMS;
+        let mut cube = SpatioTemporalCube::new(h, spec);
+        for s in 0..net.num_sensors() as u32 {
+            for d in 0..5 {
+                cube.add(
+                    SensorId::new(s),
+                    TimeWindow::new(d * 288 + (s * 20) % 288),
+                    Severity::from_secs(60),
+                );
+            }
+        }
+        let hour_cells = cube.cuboid(0, TemporalLevel::Hour).len();
+        let day_cells = cube.cuboid(0, TemporalLevel::Day).len();
+        let city_month = cube.cuboid(2, TemporalLevel::Month).len();
+        assert!(day_cells < hour_cells);
+        assert_eq!(city_month, 1);
+    }
+
+    #[test]
+    fn range_total_slices_time() {
+        let (_, h) = setup();
+        let spec = WindowSpec::PEMS;
+        let mut cube = SpatioTemporalCube::new(h, spec);
+        cube.add(SensorId::new(1), TimeWindow::new(10), Severity::from_minutes(1.0));
+        cube.add(SensorId::new(1), TimeWindow::new(500), Severity::from_minutes(2.0));
+        cube.add(SensorId::new(1), TimeWindow::new(5000), Severity::from_minutes(4.0));
+        let first_day = cube.range_total(TimeWindow::new(0), TimeWindow::new(288));
+        assert_eq!(first_day.total, Severity::from_minutes(1.0));
+        let two_days = cube.range_total(TimeWindow::new(0), TimeWindow::new(576));
+        assert_eq!(two_days.total, Severity::from_minutes(3.0));
+        let all = cube.range_total(TimeWindow::new(0), TimeWindow::new(10_000));
+        assert_eq!(all.total, Severity::from_minutes(7.0));
+    }
+
+    #[test]
+    fn raw_measure_tracks_occupancy() {
+        let (_, h) = setup();
+        let mut cube = SpatioTemporalCube::new(h, WindowSpec::PEMS);
+        cube.add_raw(&RawRecord::new(SensorId::new(1), TimeWindow::new(5), 60.0, 100, 500));
+        // 50 % occupancy of a 5-minute window = 150 seconds.
+        assert_eq!(cube.grand_total().total, Severity::from_secs(150));
+    }
+
+    #[test]
+    fn store_builds_mc_oc_and_pr() {
+        use cps_sim::{Scale, SimConfig, TrafficSim};
+        let root = std::env::temp_dir().join(format!("cps-cube-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let sim = TrafficSim::new(
+            SimConfig::new(Scale::Tiny, 5)
+                .with_datasets(1)
+                .with_days_per_dataset(2),
+        );
+        let store = sim.write_store(&root).unwrap();
+        let hierarchy = RegionHierarchy::standard(sim.network(), 2.0, 3);
+        let datasets = [DatasetId::new(1)];
+        let io = IoStats::shared();
+
+        let mc = build_mc(&store, &datasets, hierarchy.clone(), io.clone()).unwrap();
+        let oc = build_oc(&store, &datasets, hierarchy.clone(), io.clone()).unwrap();
+        assert!(oc.n_records > mc.n_records * 10, "OC scans all raw data");
+        assert!(oc.cube.base_cells() >= mc.cube.base_cells());
+
+        let (scanned, selected, _) =
+            preprocess_raw(&store, &datasets, &sim.criterion(), io).unwrap();
+        assert_eq!(scanned, oc.n_records);
+        assert_eq!(selected, mc.n_records);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

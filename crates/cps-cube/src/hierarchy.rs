@@ -1,0 +1,134 @@
+//! The temporal concept hierarchy: window → hour → day → week → month.
+
+use cps_core::{TimeWindow, WindowSpec};
+use serde::{Deserialize, Serialize};
+
+/// Levels of the temporal hierarchy, finest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TemporalLevel {
+    /// One sensing window.
+    Window,
+    /// One hour.
+    Hour,
+    /// One day.
+    Day,
+    /// One 7-day week.
+    Week,
+    /// One 30-day month partition.
+    Month,
+}
+
+impl TemporalLevel {
+    /// All levels, finest first.
+    pub const ALL: [TemporalLevel; 5] = [
+        TemporalLevel::Window,
+        TemporalLevel::Hour,
+        TemporalLevel::Day,
+        TemporalLevel::Week,
+        TemporalLevel::Month,
+    ];
+
+    /// Bucket index of `w` at this level.
+    #[inline]
+    pub fn bucket_of(self, w: TimeWindow, spec: WindowSpec) -> u32 {
+        match self {
+            TemporalLevel::Window => w.raw(),
+            TemporalLevel::Hour => spec.hour_of(w),
+            TemporalLevel::Day => spec.day_of(w),
+            TemporalLevel::Week => spec.week_of(w),
+            TemporalLevel::Month => spec.month_of(w),
+        }
+    }
+
+    /// Windows per bucket at this level.
+    pub fn windows_per_bucket(self, spec: WindowSpec) -> u32 {
+        match self {
+            TemporalLevel::Window => 1,
+            TemporalLevel::Hour => spec.windows_per_hour(),
+            TemporalLevel::Day => spec.windows_per_day(),
+            TemporalLevel::Week => spec.windows_per_week(),
+            TemporalLevel::Month => spec.windows_per_month(),
+        }
+    }
+
+    /// The bucket at this level containing an `Hour` bucket — used to roll
+    /// the stored hour-grain cuboid up to coarser grains.
+    #[inline]
+    pub fn bucket_of_hour(self, hour: u32) -> u32 {
+        match self {
+            TemporalLevel::Window => {
+                unreachable!("cannot drill from hour grain down to windows")
+            }
+            TemporalLevel::Hour => hour,
+            TemporalLevel::Day => hour / 24,
+            TemporalLevel::Week => hour / (24 * 7),
+            TemporalLevel::Month => hour / (24 * 30),
+        }
+    }
+
+    /// Whether this level is coarser than or equal to `other`.
+    pub fn at_least_as_coarse_as(self, other: TemporalLevel) -> bool {
+        self >= other
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TemporalLevel::Window => "window",
+            TemporalLevel::Hour => "hour",
+            TemporalLevel::Day => "day",
+            TemporalLevel::Week => "week",
+            TemporalLevel::Month => "month",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_nest() {
+        let spec = WindowSpec::PEMS;
+        let w = TimeWindow::new(10 * 288 + 137); // day 10, mid-day
+        assert_eq!(TemporalLevel::Day.bucket_of(w, spec), 10);
+        assert_eq!(TemporalLevel::Week.bucket_of(w, spec), 1);
+        assert_eq!(TemporalLevel::Month.bucket_of(w, spec), 0);
+        assert_eq!(
+            TemporalLevel::Hour.bucket_of(w, spec) / 24,
+            TemporalLevel::Day.bucket_of(w, spec)
+        );
+    }
+
+    #[test]
+    fn hour_rollup_consistent_with_direct_bucketing() {
+        let spec = WindowSpec::PEMS;
+        for widx in [0u32, 287, 288, 5000, 9000, 70000] {
+            let w = TimeWindow::new(widx);
+            let hour = TemporalLevel::Hour.bucket_of(w, spec);
+            for level in [TemporalLevel::Day, TemporalLevel::Week, TemporalLevel::Month] {
+                assert_eq!(
+                    level.bucket_of_hour(hour),
+                    level.bucket_of(w, spec),
+                    "level {level:?} window {widx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarseness_ordering() {
+        assert!(TemporalLevel::Month.at_least_as_coarse_as(TemporalLevel::Hour));
+        assert!(TemporalLevel::Hour.at_least_as_coarse_as(TemporalLevel::Hour));
+        assert!(!TemporalLevel::Hour.at_least_as_coarse_as(TemporalLevel::Day));
+    }
+
+    #[test]
+    fn windows_per_bucket_match_spec() {
+        let spec = WindowSpec::PEMS;
+        assert_eq!(TemporalLevel::Window.windows_per_bucket(spec), 1);
+        assert_eq!(TemporalLevel::Hour.windows_per_bucket(spec), 12);
+        assert_eq!(TemporalLevel::Day.windows_per_bucket(spec), 288);
+        assert_eq!(TemporalLevel::Month.windows_per_bucket(spec), 8640);
+    }
+}

@@ -1,0 +1,205 @@
+//! OLAP operations over the cube: slice, dice, roll-up reports and top-k —
+//! the query surface CubeView-style systems expose (and exactly what the
+//! paper's Example 2 shows to be insufficient for event analysis: every
+//! answer here is a bare number over a pre-defined region).
+
+use crate::cube::{CellKey, SpatioTemporalCube};
+use crate::hierarchy::TemporalLevel;
+use cps_core::measure::CountAndTotal;
+use cps_core::{RegionId, Severity};
+
+/// A slice: one region's measure per time bucket, ordered by bucket.
+pub fn slice_region(
+    cube: &mut SpatioTemporalCube,
+    spatial_level: usize,
+    region: RegionId,
+    temporal: TemporalLevel,
+) -> Vec<(u32, CountAndTotal)> {
+    let mut out: Vec<(u32, CountAndTotal)> = cube
+        .cuboid(spatial_level, temporal)
+        .iter()
+        .filter(|(k, _)| k.region == region)
+        .map(|(k, &m)| (k.bucket, m))
+        .collect();
+    out.sort_unstable_by_key(|&(b, _)| b);
+    out
+}
+
+/// A dice: total measure over a set of regions × a bucket range.
+pub fn dice(
+    cube: &mut SpatioTemporalCube,
+    spatial_level: usize,
+    regions: &[RegionId],
+    temporal: TemporalLevel,
+    buckets: std::ops::Range<u32>,
+) -> CountAndTotal {
+    use cps_core::measure::DistributiveMeasure;
+    let cuboid = cube.cuboid(spatial_level, temporal);
+    regions
+        .iter()
+        .flat_map(|&region| {
+            buckets.clone().filter_map(move |bucket| {
+                cuboid.get(&CellKey { region, bucket }).copied()
+            })
+        })
+        .fold(CountAndTotal::identity(), CountAndTotal::merge)
+}
+
+/// The `k` heaviest cells of a cuboid, by total severity.
+pub fn top_k_cells(
+    cube: &mut SpatioTemporalCube,
+    spatial_level: usize,
+    temporal: TemporalLevel,
+    k: usize,
+) -> Vec<(CellKey, Severity)> {
+    let mut cells: Vec<(CellKey, Severity)> = cube
+        .cuboid(spatial_level, temporal)
+        .iter()
+        .map(|(&key, m)| (key, m.total))
+        .collect();
+    cells.sort_unstable_by_key(|&(key, sev)| (std::cmp::Reverse(sev), key.region, key.bucket));
+    cells.truncate(k);
+    cells
+}
+
+/// The "red zone report" of Example 2: regions whose severity density over
+/// a bucket range exceeds `delta_s` — CubeView's closest analogue to the
+/// red zones of Algorithm 4 (and the input we validate them against).
+pub fn heavy_regions(
+    cube: &mut SpatioTemporalCube,
+    spatial_level: usize,
+    temporal: TemporalLevel,
+    buckets: std::ops::Range<u32>,
+    delta_s: f64,
+    region_sensors: impl Fn(RegionId) -> u32,
+    windows_per_bucket: u32,
+) -> Vec<(RegionId, Severity)> {
+    use cps_core::fx::FxHashMap;
+    let mut per_region: FxHashMap<RegionId, Severity> = FxHashMap::default();
+    for (k, m) in cube.cuboid(spatial_level, temporal) {
+        if buckets.contains(&k.bucket) {
+            *per_region.entry(k.region).or_default() += m.total;
+        }
+    }
+    let n_buckets = buckets.end - buckets.start;
+    let mut out: Vec<(RegionId, Severity)> = per_region
+        .into_iter()
+        .filter(|&(region, total)| {
+            let n_i = region_sensors(region);
+            let threshold = Severity::from_minutes(
+                delta_s * f64::from(n_buckets * windows_per_bucket) * f64::from(n_i),
+            );
+            n_i > 0 && total >= threshold
+        })
+        .collect();
+    out.sort_unstable_by_key(|&(r, _)| r);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::{SensorId, TimeWindow, WindowSpec};
+    use cps_geo::grid::RegionHierarchy;
+    use cps_geo::point::LOS_ANGELES;
+    use cps_geo::RoadNetwork;
+
+    fn cube() -> (RoadNetwork, SpatioTemporalCube) {
+        let net = RoadNetwork::builder()
+            .highway(
+                "EW",
+                vec![
+                    LOS_ANGELES.offset_miles(0.0, -8.0),
+                    LOS_ANGELES.offset_miles(0.0, 8.0),
+                ],
+                0.5,
+            )
+            .build();
+        let h = RegionHierarchy::standard(&net, 2.0, 3);
+        let mut cube = SpatioTemporalCube::new(h, WindowSpec::PEMS);
+        // Sensor 0 heavy on hour 8 every day; sensor 20 light once.
+        for day in 0..3u32 {
+            for w in 0..6 {
+                cube.add(
+                    SensorId::new(0),
+                    TimeWindow::new(day * 288 + 8 * 12 + w),
+                    Severity::from_minutes(4.0),
+                );
+            }
+        }
+        cube.add(
+            SensorId::new(20),
+            TimeWindow::new(100),
+            Severity::from_minutes(1.0),
+        );
+        (net, cube)
+    }
+
+    fn region_of(net: &RoadNetwork, sensor: u32) -> RegionId {
+        let h = RegionHierarchy::standard(net, 2.0, 3);
+        h.finest().region_of(SensorId::new(sensor))
+    }
+
+    #[test]
+    fn slice_orders_buckets() {
+        let (net, mut cube) = cube();
+        let r = region_of(&net, 0);
+        let slice = slice_region(&mut cube, 0, r, TemporalLevel::Day);
+        assert_eq!(slice.len(), 3);
+        assert!(slice.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(slice[0].1.total, Severity::from_minutes(24.0));
+    }
+
+    #[test]
+    fn dice_sums_selected_cells() {
+        let (net, mut cube) = cube();
+        let r = region_of(&net, 0);
+        let two_days = dice(&mut cube, 0, &[r], TemporalLevel::Day, 0..2);
+        assert_eq!(two_days.total, Severity::from_minutes(48.0));
+        assert_eq!(two_days.count, 12);
+        let nothing = dice(&mut cube, 0, &[r], TemporalLevel::Day, 10..20);
+        assert_eq!(nothing.total, Severity::ZERO);
+    }
+
+    #[test]
+    fn top_k_ranks_by_severity() {
+        let (net, mut cube) = cube();
+        let top = top_k_cells(&mut cube, 0, TemporalLevel::Day, 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1 >= top[1].1);
+        assert_eq!(top[0].0.region, region_of(&net, 0));
+        // Asking for more than exists is fine.
+        let all = top_k_cells(&mut cube, 0, TemporalLevel::Day, 100);
+        assert_eq!(all.len(), 4); // 3 heavy days + 1 light cell
+    }
+
+    #[test]
+    fn heavy_regions_apply_density_threshold() {
+        let (net, mut cube) = cube();
+        let h = RegionHierarchy::standard(&net, 2.0, 3);
+        let fine = h.finest().clone();
+        // With a tiny δs the heavy region qualifies, the light one doesn't.
+        let heavy = heavy_regions(
+            &mut cube,
+            0,
+            TemporalLevel::Day,
+            0..3,
+            0.002,
+            |r| fine.sensors_in(r).len() as u32,
+            WindowSpec::PEMS.windows_per_day(),
+        );
+        assert_eq!(heavy.len(), 1);
+        assert_eq!(heavy[0].0, region_of(&net, 0));
+        // With a huge δs nothing qualifies.
+        let none = heavy_regions(
+            &mut cube,
+            0,
+            TemporalLevel::Day,
+            0..3,
+            0.5,
+            |r| fine.sensors_in(r).len() as u32,
+            WindowSpec::PEMS.windows_per_day(),
+        );
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Axis-aligned geographic bounding boxes.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// Axis-aligned lat/lon rectangle.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Minimum latitude.
+    pub min_lat: f64,
+    /// Minimum longitude.
+    pub min_lon: f64,
+    /// Maximum latitude.
+    pub max_lat: f64,
+    /// Maximum longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// The empty box (inverted bounds; unions with anything leave the other
+    /// operand).
+    pub const EMPTY: BoundingBox = BoundingBox {
+        min_lat: f64::INFINITY,
+        min_lon: f64::INFINITY,
+        max_lat: f64::NEG_INFINITY,
+        max_lon: f64::NEG_INFINITY,
+    };
+
+    /// Builds a box from explicit bounds.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
+        Self {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        }
+    }
+
+    /// The degenerate box containing a single point.
+    pub fn of_point(p: Point) -> Self {
+        Self::new(p.lat, p.lon, p.lat, p.lon)
+    }
+
+    /// Smallest box covering an iterator of points.
+    pub fn of_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        points
+            .into_iter()
+            .fold(Self::EMPTY, |b, p| b.expanded_to(p))
+    }
+
+    /// Whether the box contains no area (uninitialized).
+    pub fn is_empty(&self) -> bool {
+        self.min_lat > self.max_lat || self.min_lon > self.max_lon
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+    }
+
+    /// Whether two boxes share any area (inclusive edges).
+    #[inline]
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_lat <= other.max_lat
+            && other.min_lat <= self.max_lat
+            && self.min_lon <= other.max_lon
+            && other.min_lon <= self.max_lon
+    }
+
+    /// The box grown to cover `p`.
+    pub fn expanded_to(mut self, p: Point) -> Self {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lon = self.max_lon.max(p.lon);
+        self
+    }
+
+    /// The union of two boxes.
+    pub fn union(mut self, other: &BoundingBox) -> Self {
+        if other.is_empty() {
+            return self;
+        }
+        if self.is_empty() {
+            return *other;
+        }
+        self.min_lat = self.min_lat.min(other.min_lat);
+        self.max_lat = self.max_lat.max(other.max_lat);
+        self.min_lon = self.min_lon.min(other.min_lon);
+        self.max_lon = self.max_lon.max(other.max_lon);
+        self
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point {
+        Point::new(
+            0.5 * (self.min_lat + self.max_lat),
+            0.5 * (self.min_lon + self.max_lon),
+        )
+    }
+
+    /// Area in squared degrees — only used to compare boxes during R-tree
+    /// splits, never as a physical quantity.
+    pub fn area_deg2(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max_lat - self.min_lat) * (self.max_lon - self.min_lon)
+        }
+    }
+
+    /// The box expanded outward by approximately `miles` on every side.
+    pub fn inflated_miles(&self, miles: f64) -> BoundingBox {
+        let center = self.center();
+        let lo = Point::new(self.min_lat, self.min_lon).offset_miles(-miles, -miles);
+        let hi = Point::new(self.max_lat, self.max_lon).offset_miles(miles, miles);
+        // offset_miles uses the point's own latitude for the lon scale; keep
+        // the box well-formed even at extreme latitudes.
+        let _ = center;
+        BoundingBox::new(
+            lo.lat.min(hi.lat),
+            lo.lon.min(hi.lon),
+            lo.lat.max(hi.lat),
+            lo.lon.max(hi.lon),
+        )
+    }
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::LOS_ANGELES;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_box_behaviour() {
+        let e = BoundingBox::EMPTY;
+        assert!(e.is_empty());
+        assert!(!e.contains(LOS_ANGELES));
+        assert_eq!(e.area_deg2(), 0.0);
+        let b = BoundingBox::of_point(LOS_ANGELES);
+        assert_eq!(e.union(&b), b);
+        assert_eq!(b.union(&e), b);
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let b = BoundingBox::new(34.0, -119.0, 35.0, -118.0);
+        assert!(b.contains(Point::new(34.5, -118.5)));
+        assert!(!b.contains(Point::new(33.9, -118.5)));
+        let c = BoundingBox::new(34.9, -118.1, 36.0, -117.0);
+        assert!(b.intersects(&c));
+        let d = BoundingBox::new(36.0, -117.0, 37.0, -116.0);
+        assert!(!b.intersects(&d));
+    }
+
+    #[test]
+    fn of_points_covers_all() {
+        let pts = vec![
+            Point::new(34.0, -118.0),
+            Point::new(34.5, -119.0),
+            Point::new(33.8, -118.2),
+        ];
+        let b = BoundingBox::of_points(pts.clone());
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min_lat, 33.8);
+        assert_eq!(b.max_lon, -118.0);
+    }
+
+    #[test]
+    fn inflate_grows_box() {
+        let b = BoundingBox::of_point(LOS_ANGELES).inflated_miles(2.0);
+        assert!(b.contains(LOS_ANGELES.offset_miles(1.5, 1.5)));
+        assert!(!b.contains(LOS_ANGELES.offset_miles(5.0, 0.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(
+            a1 in 33.0f64..36.0, a2 in -120.0f64..-117.0,
+            b1 in 33.0f64..36.0, b2 in -120.0f64..-117.0,
+            c1 in 33.0f64..36.0, c2 in -120.0f64..-117.0,
+            d1 in 33.0f64..36.0, d2 in -120.0f64..-117.0,
+        ) {
+            let x = BoundingBox::of_point(Point::new(a1, a2)).expanded_to(Point::new(b1, b2));
+            let y = BoundingBox::of_point(Point::new(c1, c2)).expanded_to(Point::new(d1, d2));
+            let u = x.union(&y);
+            prop_assert!(u.contains(x.center()) && u.contains(y.center()));
+            prop_assert!(u.intersects(&x) && u.intersects(&y));
+            prop_assert_eq!(u, y.union(&x));
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Pre-defined spatial regions: the uniform grid and the region hierarchy.
+//!
+//! The paper's bottom-up baseline (and the red-zone filter of Algorithm 4)
+//! aggregates severity over *pre-defined* regions — zipcode areas in the
+//! original deployment. The essential property is only that the regions form
+//! a fixed partition of the sensors whose boundaries do **not** follow the
+//! atypical events; a uniform grid over the network bounding box preserves
+//! exactly that mismatch and is what we use here.
+//!
+//! [`UniformGrid`] assigns each sensor to one cell; [`RegionHierarchy`]
+//! stacks partitions of increasing coarseness (cell → district → city),
+//! which is the spatial concept hierarchy both `cps-cube` and the red-zone
+//! granularity ablation consume.
+
+use crate::{BoundingBox, Point, RoadNetwork};
+use cps_core::{RegionId, SensorId};
+use serde::{Deserialize, Serialize};
+
+/// A fixed partition of the deployment's sensors into named regions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SensorPartition {
+    /// Level name, e.g. `"cell-2mi"` or `"district"`.
+    pub name: String,
+    /// Region of each sensor, indexed by raw sensor id.
+    sensor_region: Vec<RegionId>,
+    /// Sensors of each region, indexed by raw region id.
+    region_sensors: Vec<Vec<SensorId>>,
+}
+
+impl SensorPartition {
+    /// Builds a partition from a per-sensor region assignment.
+    ///
+    /// Region ids must be dense in `0..num_regions`.
+    pub fn new(name: impl Into<String>, sensor_region: Vec<RegionId>, num_regions: u32) -> Self {
+        let mut region_sensors: Vec<Vec<SensorId>> = vec![Vec::new(); num_regions as usize];
+        for (i, r) in sensor_region.iter().enumerate() {
+            region_sensors[r.index()].push(SensorId::new(i as u32));
+        }
+        Self {
+            name: name.into(),
+            sensor_region,
+            region_sensors,
+        }
+    }
+
+    /// The single-region (whole-city) partition over `n` sensors.
+    pub fn whole_city(n_sensors: u32) -> Self {
+        Self::new(
+            "city",
+            vec![RegionId::new(0); n_sensors as usize],
+            1,
+        )
+    }
+
+    /// Region containing `sensor`.
+    #[inline]
+    pub fn region_of(&self, sensor: SensorId) -> RegionId {
+        self.sensor_region[sensor.index()]
+    }
+
+    /// Sensors inside `region`.
+    pub fn sensors_in(&self, region: RegionId) -> &[SensorId] {
+        &self.region_sensors[region.index()]
+    }
+
+    /// Number of regions (including empty ones).
+    pub fn num_regions(&self) -> u32 {
+        self.region_sensors.len() as u32
+    }
+
+    /// Number of sensors partitioned.
+    pub fn num_sensors(&self) -> usize {
+        self.sensor_region.len()
+    }
+
+    /// Iterates over `(region, sensors)` for non-empty regions.
+    pub fn non_empty_regions(&self) -> impl Iterator<Item = (RegionId, &[SensorId])> {
+        self.region_sensors
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (RegionId::new(i as u32), v.as_slice()))
+    }
+
+    /// Checks this partition refines `coarser`: every region of `self` maps
+    /// into exactly one region of `coarser`.
+    pub fn refines(&self, coarser: &SensorPartition) -> bool {
+        if self.num_sensors() != coarser.num_sensors() {
+            return false;
+        }
+        self.non_empty_regions().all(|(_, sensors)| {
+            let first = coarser.region_of(sensors[0]);
+            sensors.iter().all(|&s| coarser.region_of(s) == first)
+        })
+    }
+}
+
+/// A uniform lat/lon grid over a network's bounding box.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UniformGrid {
+    bbox: BoundingBox,
+    cell_miles: f64,
+    cols: u32,
+    rows: u32,
+}
+
+impl UniformGrid {
+    /// Lays a grid of `cell_miles`-sized cells over the network bbox
+    /// (inflated slightly so boundary sensors fall strictly inside).
+    pub fn over(network: &RoadNetwork, cell_miles: f64) -> Self {
+        assert!(cell_miles > 0.0, "cell size must be positive");
+        let bbox = network.bbox().inflated_miles(0.01);
+        let origin = Point::new(bbox.min_lat, bbox.min_lon);
+        let width = origin.fast_miles(Point::new(bbox.min_lat, bbox.max_lon));
+        let height = origin.fast_miles(Point::new(bbox.max_lat, bbox.min_lon));
+        Self {
+            bbox,
+            cell_miles,
+            cols: (width / cell_miles).ceil().max(1.0) as u32,
+            rows: (height / cell_miles).ceil().max(1.0) as u32,
+        }
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.cols, self.rows)
+    }
+
+    /// Total cell count.
+    pub fn num_cells(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// Cell size in miles.
+    pub fn cell_miles(&self) -> f64 {
+        self.cell_miles
+    }
+
+    /// Cell containing point `p` (clamped to the grid).
+    pub fn cell_of(&self, p: Point) -> RegionId {
+        let origin = Point::new(self.bbox.min_lat, self.bbox.min_lon);
+        let x = origin.fast_miles(Point::new(self.bbox.min_lat, p.lon)) / self.cell_miles;
+        let y = origin.fast_miles(Point::new(p.lat, self.bbox.min_lon)) / self.cell_miles;
+        let cx = (x.max(0.0) as u32).min(self.cols - 1);
+        let cy = (y.max(0.0) as u32).min(self.rows - 1);
+        RegionId::new(cy * self.cols + cx)
+    }
+
+    /// Approximate bounding box of a cell.
+    pub fn cell_bbox(&self, region: RegionId) -> BoundingBox {
+        let cx = region.raw() % self.cols;
+        let cy = region.raw() / self.cols;
+        let origin = Point::new(self.bbox.min_lat, self.bbox.min_lon);
+        let sw = origin.offset_miles(cy as f64 * self.cell_miles, cx as f64 * self.cell_miles);
+        let ne = origin.offset_miles(
+            (cy + 1) as f64 * self.cell_miles,
+            (cx + 1) as f64 * self.cell_miles,
+        );
+        BoundingBox::new(sw.lat, sw.lon, ne.lat, ne.lon)
+    }
+
+    /// Builds the sensor partition induced by this grid.
+    pub fn partition(&self, network: &RoadNetwork) -> SensorPartition {
+        let assignment: Vec<RegionId> = network
+            .sensors()
+            .iter()
+            .map(|s| self.cell_of(s.location))
+            .collect();
+        SensorPartition::new(
+            format!("cell-{:.1}mi", self.cell_miles),
+            assignment,
+            self.num_cells(),
+        )
+    }
+
+    /// Builds the partition of `k × k` cell blocks ("districts").
+    pub fn coarsened_partition(&self, network: &RoadNetwork, k: u32) -> SensorPartition {
+        assert!(k > 0);
+        let dcols = self.cols.div_ceil(k);
+        let drows = self.rows.div_ceil(k);
+        let assignment: Vec<RegionId> = network
+            .sensors()
+            .iter()
+            .map(|s| {
+                let cell = self.cell_of(s.location).raw();
+                let (cx, cy) = (cell % self.cols, cell / self.cols);
+                RegionId::new((cy / k) * dcols + cx / k)
+            })
+            .collect();
+        SensorPartition::new(
+            format!("district-{k}x{k}"),
+            assignment,
+            dcols * drows,
+        )
+    }
+}
+
+/// Spatial concept hierarchy: partitions from finest to coarsest.
+///
+/// Level 0 is the finest (grid cell), the last level is the whole city.
+/// Every level must refine the next — validated at construction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegionHierarchy {
+    levels: Vec<SensorPartition>,
+}
+
+impl RegionHierarchy {
+    /// Builds a hierarchy from fine-to-coarse partitions.
+    ///
+    /// # Panics
+    /// Panics if any level fails to refine the next-coarser level.
+    pub fn new(levels: Vec<SensorPartition>) -> Self {
+        assert!(!levels.is_empty(), "hierarchy needs at least one level");
+        for pair in levels.windows(2) {
+            assert!(
+                pair[0].refines(&pair[1]),
+                "partition '{}' does not refine '{}'",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+        Self { levels }
+    }
+
+    /// The standard 3-level hierarchy the experiments use: grid cell →
+    /// `k × k` district → city.
+    pub fn standard(network: &RoadNetwork, cell_miles: f64, district_k: u32) -> Self {
+        let grid = UniformGrid::over(network, cell_miles);
+        Self::new(vec![
+            grid.partition(network),
+            grid.coarsened_partition(network, district_k),
+            SensorPartition::whole_city(network.num_sensors() as u32),
+        ])
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The partition at `level` (0 = finest).
+    pub fn level(&self, level: usize) -> &SensorPartition {
+        &self.levels[level]
+    }
+
+    /// The finest partition.
+    pub fn finest(&self) -> &SensorPartition {
+        &self.levels[0]
+    }
+
+    /// The coarsest partition.
+    pub fn coarsest(&self) -> &SensorPartition {
+        self.levels.last().expect("non-empty by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::LOS_ANGELES;
+
+    fn net() -> RoadNetwork {
+        RoadNetwork::builder()
+            .highway(
+                "I-10",
+                vec![
+                    LOS_ANGELES.offset_miles(0.0, -8.0),
+                    LOS_ANGELES.offset_miles(0.0, 8.0),
+                ],
+                0.5,
+            )
+            .highway(
+                "I-110",
+                vec![
+                    LOS_ANGELES.offset_miles(-8.0, 0.0),
+                    LOS_ANGELES.offset_miles(8.0, 0.0),
+                ],
+                0.5,
+            )
+            .build()
+    }
+
+    #[test]
+    fn every_sensor_gets_a_cell() {
+        let net = net();
+        let grid = UniformGrid::over(&net, 2.0);
+        let part = grid.partition(&net);
+        assert_eq!(part.num_sensors(), net.num_sensors());
+        let covered: usize = part.non_empty_regions().map(|(_, s)| s.len()).sum();
+        assert_eq!(covered, net.num_sensors());
+    }
+
+    #[test]
+    fn partition_is_consistent_both_ways() {
+        let net = net();
+        let part = UniformGrid::over(&net, 2.0).partition(&net);
+        for s in net.sensors() {
+            let r = part.region_of(s.id);
+            assert!(part.sensors_in(r).contains(&s.id));
+        }
+    }
+
+    #[test]
+    fn cell_of_is_inside_cell_bbox() {
+        let net = net();
+        let grid = UniformGrid::over(&net, 2.0);
+        for s in net.sensors() {
+            let cell = grid.cell_of(s.location);
+            let bbox = grid.cell_bbox(cell).inflated_miles(0.05);
+            assert!(bbox.contains(s.location), "sensor {} cell {}", s.id, cell);
+        }
+    }
+
+    #[test]
+    fn coarsening_refines() {
+        let net = net();
+        let grid = UniformGrid::over(&net, 1.0);
+        let fine = grid.partition(&net);
+        let coarse = grid.coarsened_partition(&net, 4);
+        assert!(fine.refines(&coarse));
+        assert!(coarse.num_regions() < fine.num_regions());
+        assert!(coarse.refines(&SensorPartition::whole_city(net.num_sensors() as u32)));
+    }
+
+    #[test]
+    fn standard_hierarchy_builds_and_validates() {
+        let net = net();
+        let h = RegionHierarchy::standard(&net, 2.0, 3);
+        assert_eq!(h.num_levels(), 3);
+        assert_eq!(h.coarsest().num_regions(), 1);
+        assert!(h.finest().num_regions() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not refine")]
+    fn hierarchy_rejects_non_refining_levels() {
+        let net = net();
+        let grid = UniformGrid::over(&net, 2.0);
+        // Reversed order: coarse does not refine fine.
+        RegionHierarchy::new(vec![
+            grid.coarsened_partition(&net, 4),
+            grid.partition(&net),
+        ]);
+    }
+
+    #[test]
+    fn whole_city_has_single_region() {
+        let p = SensorPartition::whole_city(10);
+        assert_eq!(p.num_regions(), 1);
+        assert_eq!(p.sensors_in(RegionId::new(0)).len(), 10);
+    }
+
+    #[test]
+    fn finer_grid_means_more_regions() {
+        let net = net();
+        let coarse = UniformGrid::over(&net, 4.0);
+        let fine = UniformGrid::over(&net, 1.0);
+        assert!(fine.num_cells() > coarse.num_cells());
+        let (c, r) = fine.dims();
+        assert_eq!(fine.num_cells(), c * r);
+    }
+}

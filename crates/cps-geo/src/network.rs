@@ -1,0 +1,465 @@
+//! The sensor topology graph.
+//!
+//! The paper's CPS consists of fixed sensors on a road network (PeMS loop
+//! detectors on 38 LA/Ventura freeways). [`RoadNetwork`] models exactly what
+//! the algorithms need:
+//!
+//! * where each sensor is ([`SensorInfo`]: highway, mile post, location),
+//! * which sensors are *road neighbours* (consecutive mile posts plus
+//!   interchange links) — used by the congestion simulator to diffuse events
+//!   along roads rather than as free-space blobs,
+//! * fast `sensors within r miles of x` lookups (an internal uniform-cell
+//!   locator) — used by the `δd` neighbour searches of event retrieval.
+
+use crate::{BoundingBox, Point};
+use cps_core::fx::FxHashMap;
+use cps_core::SensorId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a highway within the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HighwayId(pub u16);
+
+impl fmt::Display for HighwayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H{}", self.0)
+    }
+}
+
+/// One highway: a named polyline carrying a contiguous run of sensors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Highway {
+    /// Identifier within the network.
+    pub id: HighwayId,
+    /// Display name, e.g. `"I-10 E"`.
+    pub name: String,
+    /// Geometry waypoints (at least two).
+    pub waypoints: Vec<Point>,
+    /// Sensors on this highway, ordered by mile post (raw id range:
+    /// `first_sensor .. first_sensor + n_sensors`).
+    pub first_sensor: u32,
+    /// Number of sensors on this highway.
+    pub n_sensors: u32,
+}
+
+impl Highway {
+    /// Iterates over the sensor ids on this highway, in mile-post order.
+    pub fn sensors(&self) -> impl Iterator<Item = SensorId> + '_ {
+        (self.first_sensor..self.first_sensor + self.n_sensors).map(SensorId::new)
+    }
+
+    /// Total polyline length in miles.
+    pub fn length_miles(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].haversine_miles(w[1]))
+            .sum()
+    }
+}
+
+/// Static description of one sensor.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SensorInfo {
+    /// The sensor's id (equal to its index in the network's sensor table).
+    pub id: SensorId,
+    /// Highway it is mounted on.
+    pub highway: HighwayId,
+    /// Distance along the highway, in miles.
+    pub mile_post: f64,
+    /// Geographic location.
+    pub location: Point,
+}
+
+/// Immutable sensor topology graph, built once per deployment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    highways: Vec<Highway>,
+    sensors: Vec<SensorInfo>,
+    /// Road-graph adjacency per sensor (consecutive + interchange links).
+    adjacency: Vec<Vec<SensorId>>,
+    bbox: BoundingBox,
+    locator: Locator,
+}
+
+/// Uniform-cell point locator for radius queries over sensor locations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Locator {
+    cell_miles: f64,
+    origin: Point,
+    cols: u32,
+    rows: u32,
+    cells: FxHashMap<u32, Vec<SensorId>>,
+}
+
+impl Locator {
+    fn build(sensors: &[SensorInfo], bbox: BoundingBox, cell_miles: f64) -> Self {
+        let origin = Point::new(bbox.min_lat, bbox.min_lon);
+        let width = origin.fast_miles(Point::new(bbox.min_lat, bbox.max_lon));
+        let height = origin.fast_miles(Point::new(bbox.max_lat, bbox.min_lon));
+        let cols = (width / cell_miles).ceil().max(1.0) as u32;
+        let rows = (height / cell_miles).ceil().max(1.0) as u32;
+        let mut cells: FxHashMap<u32, Vec<SensorId>> = FxHashMap::default();
+        let mut this = Self {
+            cell_miles,
+            origin,
+            cols,
+            rows,
+            cells: FxHashMap::default(),
+        };
+        for s in sensors {
+            cells.entry(this.cell_of(s.location)).or_default().push(s.id);
+        }
+        this.cells = cells;
+        this
+    }
+
+    fn coords_of(&self, p: Point) -> (u32, u32) {
+        let east = Point::new(self.origin.lat, p.lon);
+        let x = self.origin.fast_miles(east) / self.cell_miles;
+        let north = Point::new(p.lat, self.origin.lon);
+        let y = self.origin.fast_miles(north) / self.cell_miles;
+        (
+            (x.max(0.0) as u32).min(self.cols.saturating_sub(1)),
+            (y.max(0.0) as u32).min(self.rows.saturating_sub(1)),
+        )
+    }
+
+    fn cell_of(&self, p: Point) -> u32 {
+        let (cx, cy) = self.coords_of(p);
+        cy * self.cols + cx
+    }
+
+    fn candidates_within(&self, p: Point, radius_miles: f64) -> Vec<SensorId> {
+        let (cx, cy) = self.coords_of(p);
+        let span = (radius_miles / self.cell_miles).ceil() as i64 + 1;
+        let mut out = Vec::new();
+        for dy in -span..=span {
+            let y = cy as i64 + dy;
+            if y < 0 || y >= self.rows as i64 {
+                continue;
+            }
+            for dx in -span..=span {
+                let x = cx as i64 + dx;
+                if x < 0 || x >= self.cols as i64 {
+                    continue;
+                }
+                if let Some(v) = self.cells.get(&((y as u32) * self.cols + x as u32)) {
+                    out.extend_from_slice(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl RoadNetwork {
+    /// Starts building a network.
+    pub fn builder() -> RoadNetworkBuilder {
+        RoadNetworkBuilder::default()
+    }
+
+    /// Number of sensors in the deployment.
+    pub fn num_sensors(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// All sensors, indexed by raw id.
+    pub fn sensors(&self) -> &[SensorInfo] {
+        &self.sensors
+    }
+
+    /// Looks up one sensor.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range — sensor ids are dense per network.
+    pub fn sensor(&self, id: SensorId) -> &SensorInfo {
+        &self.sensors[id.index()]
+    }
+
+    /// All highways.
+    pub fn highways(&self) -> &[Highway] {
+        &self.highways
+    }
+
+    /// Bounding box of all sensor locations.
+    pub fn bbox(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// Straight-line distance between two sensors, in miles — the
+    /// `distance(si, sj)` of Definition 1.
+    #[inline]
+    pub fn distance_miles(&self, a: SensorId, b: SensorId) -> f64 {
+        self.sensors[a.index()]
+            .location
+            .fast_miles(self.sensors[b.index()].location)
+    }
+
+    /// Road-graph neighbours of a sensor (consecutive mile posts on the same
+    /// highway plus interchange links to other highways).
+    pub fn road_neighbors(&self, id: SensorId) -> &[SensorId] {
+        &self.adjacency[id.index()]
+    }
+
+    /// All sensors within `radius_miles` of `p` (excluding none).
+    pub fn sensors_within_miles(&self, p: Point, radius_miles: f64) -> Vec<SensorId> {
+        let mut v: Vec<SensorId> = self
+            .locator
+            .candidates_within(p, radius_miles)
+            .into_iter()
+            .filter(|&s| self.sensors[s.index()].location.fast_miles(p) <= radius_miles)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All sensors within `radius_miles` of sensor `id`, excluding `id`
+    /// itself — the `δd` neighbourhood of Definition 1.
+    pub fn sensors_near(&self, id: SensorId, radius_miles: f64) -> Vec<SensorId> {
+        let p = self.sensors[id.index()].location;
+        self.sensors_within_miles(p, radius_miles)
+            .into_iter()
+            .filter(|&s| s != id)
+            .collect()
+    }
+
+    /// All sensors whose location falls inside `bbox`, sorted by id.
+    pub fn sensors_in_bbox(&self, bbox: &BoundingBox) -> Vec<SensorId> {
+        self.sensors
+            .iter()
+            .filter(|s| bbox.contains(s.location))
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+/// Builder for [`RoadNetwork`].
+#[derive(Default)]
+pub struct RoadNetworkBuilder {
+    highways: Vec<(String, Vec<Point>, f64)>,
+    interchange_radius_miles: f64,
+}
+
+impl RoadNetworkBuilder {
+    /// Adds a highway given its polyline and the sensor spacing in miles.
+    pub fn highway(
+        mut self,
+        name: impl Into<String>,
+        waypoints: Vec<Point>,
+        sensor_spacing_miles: f64,
+    ) -> Self {
+        assert!(waypoints.len() >= 2, "highway needs at least two waypoints");
+        assert!(sensor_spacing_miles > 0.0, "sensor spacing must be positive");
+        self.highways
+            .push((name.into(), waypoints, sensor_spacing_miles));
+        self
+    }
+
+    /// Sets the radius within which sensors on *different* highways are
+    /// linked as interchange neighbours (default 0.4 miles).
+    pub fn interchange_radius(mut self, miles: f64) -> Self {
+        self.interchange_radius_miles = miles;
+        self
+    }
+
+    /// Places sensors, wires adjacency and freezes the network.
+    pub fn build(self) -> RoadNetwork {
+        let interchange_radius = if self.interchange_radius_miles > 0.0 {
+            self.interchange_radius_miles
+        } else {
+            0.4
+        };
+        let mut highways = Vec::with_capacity(self.highways.len());
+        let mut sensors: Vec<SensorInfo> = Vec::new();
+
+        for (hidx, (name, waypoints, spacing)) in self.highways.into_iter().enumerate() {
+            let hid = HighwayId(hidx as u16);
+            let first_sensor = sensors.len() as u32;
+            // Walk the polyline, dropping a sensor every `spacing` miles.
+            let mut dist_into_segment = 0.0;
+            let mut mile_post = 0.0;
+            let mut next_at = 0.0;
+            for seg in waypoints.windows(2) {
+                let seg_len = seg[0].haversine_miles(seg[1]);
+                if seg_len <= 0.0 {
+                    continue;
+                }
+                while next_at <= mile_post + seg_len {
+                    let t = (next_at - mile_post) / seg_len;
+                    let loc = seg[0].lerp(seg[1], t);
+                    sensors.push(SensorInfo {
+                        id: SensorId::new(sensors.len() as u32),
+                        highway: hid,
+                        mile_post: next_at,
+                        location: loc,
+                    });
+                    next_at += spacing;
+                }
+                mile_post += seg_len;
+                dist_into_segment = 0.0;
+            }
+            let _ = dist_into_segment;
+            let n_sensors = sensors.len() as u32 - first_sensor;
+            highways.push(Highway {
+                id: hid,
+                name,
+                waypoints,
+                first_sensor,
+                n_sensors,
+            });
+        }
+
+        let bbox = BoundingBox::of_points(sensors.iter().map(|s| s.location));
+        let locator = Locator::build(&sensors, bbox, 1.0);
+
+        // Adjacency: consecutive sensors along each highway…
+        let mut adjacency: Vec<Vec<SensorId>> = vec![Vec::new(); sensors.len()];
+        for h in &highways {
+            let ids: Vec<SensorId> = h.sensors().collect();
+            for w in ids.windows(2) {
+                adjacency[w[0].index()].push(w[1]);
+                adjacency[w[1].index()].push(w[0]);
+            }
+        }
+        // …plus interchange links between nearby sensors of different highways.
+        let net_tmp = RoadNetwork {
+            highways: highways.clone(),
+            sensors: sensors.clone(),
+            adjacency: vec![],
+            bbox,
+            locator: locator.clone(),
+        };
+        for s in &sensors {
+            for other in net_tmp.sensors_within_miles(s.location, interchange_radius) {
+                if other != s.id && sensors[other.index()].highway != s.highway {
+                    adjacency[s.id.index()].push(other);
+                }
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+
+        RoadNetwork {
+            highways,
+            sensors,
+            adjacency,
+            bbox,
+            locator,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::LOS_ANGELES;
+
+    fn two_highway_net() -> RoadNetwork {
+        // An east-west highway and a north-south highway crossing near LA.
+        let ew = vec![
+            LOS_ANGELES.offset_miles(0.0, -10.0),
+            LOS_ANGELES.offset_miles(0.0, 10.0),
+        ];
+        let ns = vec![
+            LOS_ANGELES.offset_miles(-10.0, 0.0),
+            LOS_ANGELES.offset_miles(10.0, 0.0),
+        ];
+        RoadNetwork::builder()
+            .highway("I-10", ew, 0.5)
+            .highway("I-110", ns, 0.5)
+            .build()
+    }
+
+    #[test]
+    fn sensors_are_dense_and_ordered() {
+        let net = two_highway_net();
+        assert!(net.num_sensors() > 70, "got {}", net.num_sensors());
+        for (i, s) in net.sensors().iter().enumerate() {
+            assert_eq!(s.id.index(), i);
+        }
+        // Mile posts increase along each highway.
+        for h in net.highways() {
+            let posts: Vec<f64> = h.sensors().map(|s| net.sensor(s).mile_post).collect();
+            assert!(posts.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn consecutive_sensors_are_road_neighbors() {
+        let net = two_highway_net();
+        let h = &net.highways()[0];
+        let ids: Vec<SensorId> = h.sensors().collect();
+        assert!(net.road_neighbors(ids[1]).contains(&ids[0]));
+        assert!(net.road_neighbors(ids[1]).contains(&ids[2]));
+    }
+
+    #[test]
+    fn interchange_links_cross_highways() {
+        let net = two_highway_net();
+        // Some sensor near the crossing must have a neighbour on the other
+        // highway.
+        let crossing = net
+            .sensors()
+            .iter()
+            .filter(|s| s.highway == HighwayId(0))
+            .min_by(|a, b| {
+                a.location
+                    .fast_miles(LOS_ANGELES)
+                    .partial_cmp(&b.location.fast_miles(LOS_ANGELES))
+                    .unwrap()
+            })
+            .unwrap();
+        let cross_links: Vec<_> = net
+            .road_neighbors(crossing.id)
+            .iter()
+            .filter(|&&n| net.sensor(n).highway != crossing.highway)
+            .collect();
+        assert!(!cross_links.is_empty());
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let net = two_highway_net();
+        for &r in &[0.6, 1.5, 3.0] {
+            let p = LOS_ANGELES.offset_miles(0.2, 0.3);
+            let fast = net.sensors_within_miles(p, r);
+            let brute: Vec<SensorId> = net
+                .sensors()
+                .iter()
+                .filter(|s| s.location.fast_miles(p) <= r)
+                .map(|s| s.id)
+                .collect();
+            assert_eq!(fast, brute, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn sensors_near_excludes_self_and_respects_delta_d() {
+        let net = two_highway_net();
+        let id = SensorId::new(5);
+        let near = net.sensors_near(id, 1.5);
+        assert!(!near.contains(&id));
+        for n in near {
+            assert!(net.distance_miles(id, n) <= 1.5);
+        }
+    }
+
+    #[test]
+    fn bbox_contains_all_sensors() {
+        let net = two_highway_net();
+        let bbox = net.bbox();
+        assert!(net.sensors().iter().all(|s| bbox.contains(s.location)));
+        let all = net.sensors_in_bbox(&bbox);
+        assert_eq!(all.len(), net.num_sensors());
+    }
+
+    #[test]
+    fn highway_length_close_to_construction() {
+        let net = two_highway_net();
+        let len = net.highways()[0].length_miles();
+        assert!((len - 20.0).abs() < 0.1, "got {len}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Aggregate R-tree (the aR-tree of Papadias et al., SSTD 2001).
+//!
+//! The related-work baseline the paper contrasts against: every R-tree node
+//! stores the total severity of its subtree, so a spatial range-aggregate
+//! query can add whole subtrees that fall entirely inside the range and only
+//! descends into partially-overlapping nodes. It answers *"how much
+//! severity in box W"* fast — but, as the paper argues, a single numeric
+//! aggregate over pre-defined rectangles cannot describe the shape of
+//! atypical events; that is exactly the gap the atypical-cluster model
+//! fills.
+
+use cps_core::Severity;
+use cps_geo::{BoundingBox, Point};
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        entries: Vec<(Point, Severity)>,
+        bbox: BoundingBox,
+        total: Severity,
+    },
+    Inner {
+        children: Vec<Node>,
+        bbox: BoundingBox,
+        total: Severity,
+    },
+}
+
+impl Node {
+    fn bbox(&self) -> &BoundingBox {
+        match self {
+            Node::Leaf { bbox, .. } | Node::Inner { bbox, .. } => bbox,
+        }
+    }
+
+    fn total(&self) -> Severity {
+        match self {
+            Node::Leaf { total, .. } | Node::Inner { total, .. } => *total,
+        }
+    }
+}
+
+/// Whether `outer` fully contains `inner`.
+fn contains_box(outer: &BoundingBox, inner: &BoundingBox) -> bool {
+    !inner.is_empty()
+        && outer.min_lat <= inner.min_lat
+        && outer.min_lon <= inner.min_lon
+        && outer.max_lat >= inner.max_lat
+        && outer.max_lon >= inner.max_lon
+}
+
+/// STR bulk-loaded aggregate R-tree over weighted points.
+#[derive(Debug, Clone)]
+pub struct AggregateRTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+/// Statistics from one aggregate query — exposes the pruning behaviour the
+/// structure exists for.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Nodes whose aggregate was taken wholesale (fully contained).
+    pub subtree_hits: u32,
+    /// Nodes visited (partially overlapping).
+    pub nodes_visited: u32,
+    /// Individual entries tested at leaves.
+    pub entries_tested: u32,
+}
+
+impl AggregateRTree {
+    /// Bulk-loads the tree from `(location, severity)` pairs.
+    pub fn bulk_load(mut points: Vec<(Point, Severity)>) -> Self {
+        let len = points.len();
+        if points.is_empty() {
+            return Self { root: None, len };
+        }
+        points.sort_by(|a, b| a.0.lon.partial_cmp(&b.0.lon).unwrap());
+        let n_leaves = len.div_ceil(NODE_CAPACITY);
+        let n_strips = (n_leaves as f64).sqrt().ceil() as usize;
+        let strip_len = len.div_ceil(n_strips);
+        let mut leaves = Vec::with_capacity(n_leaves);
+        for strip in points.chunks_mut(strip_len.max(1)) {
+            strip.sort_by(|a, b| a.0.lat.partial_cmp(&b.0.lat).unwrap());
+            for chunk in strip.chunks(NODE_CAPACITY) {
+                let bbox = BoundingBox::of_points(chunk.iter().map(|&(p, _)| p));
+                let total = chunk.iter().map(|&(_, s)| s).sum();
+                leaves.push(Node::Leaf {
+                    entries: chunk.to_vec(),
+                    bbox,
+                    total,
+                });
+            }
+        }
+        let mut nodes = leaves;
+        while nodes.len() > 1 {
+            let mut next = Vec::with_capacity(nodes.len().div_ceil(NODE_CAPACITY));
+            let mut iter = nodes.into_iter().peekable();
+            while iter.peek().is_some() {
+                let children: Vec<Node> = iter.by_ref().take(NODE_CAPACITY).collect();
+                let bbox = children
+                    .iter()
+                    .fold(BoundingBox::EMPTY, |b, c| b.union(c.bbox()));
+                let total = children.iter().map(Node::total).sum();
+                next.push(Node::Inner {
+                    children,
+                    bbox,
+                    total,
+                });
+            }
+            nodes = next;
+        }
+        Self {
+            root: nodes.pop(),
+            len,
+        }
+    }
+
+    /// Number of weighted points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grand total severity.
+    pub fn total(&self) -> Severity {
+        self.root.as_ref().map_or(Severity::ZERO, Node::total)
+    }
+
+    /// Total severity of points inside `query`, plus the pruning trace.
+    pub fn range_severity(&self, query: &BoundingBox) -> (Severity, QueryTrace) {
+        let mut trace = QueryTrace::default();
+        let total = self
+            .root
+            .as_ref()
+            .map_or(Severity::ZERO, |root| Self::visit(root, query, &mut trace));
+        (total, trace)
+    }
+
+    fn visit(node: &Node, query: &BoundingBox, trace: &mut QueryTrace) -> Severity {
+        if !node.bbox().intersects(query) {
+            return Severity::ZERO;
+        }
+        if contains_box(query, node.bbox()) {
+            trace.subtree_hits += 1;
+            return node.total();
+        }
+        trace.nodes_visited += 1;
+        match node {
+            Node::Leaf { entries, .. } => {
+                trace.entries_tested += entries.len() as u32;
+                entries
+                    .iter()
+                    .filter(|(p, _)| query.contains(*p))
+                    .map(|&(_, s)| s)
+                    .sum()
+            }
+            Node::Inner { children, .. } => children
+                .iter()
+                .map(|c| Self::visit(c, query, trace))
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_geo::point::LOS_ANGELES;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn weighted_points(n: usize, seed: u64) -> Vec<(Point, Severity)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (
+                    LOS_ANGELES
+                        .offset_miles(rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0)),
+                    Severity::from_secs(rng.gen_range(60..600)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_has_zero_total() {
+        let t = AggregateRTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.total(), Severity::ZERO);
+        let (s, _) = t.range_severity(&BoundingBox::new(-90.0, -180.0, 90.0, 180.0));
+        assert_eq!(s, Severity::ZERO);
+    }
+
+    #[test]
+    fn whole_space_query_returns_grand_total() {
+        let pts = weighted_points(300, 1);
+        let want: Severity = pts.iter().map(|&(_, s)| s).sum();
+        let t = AggregateRTree::bulk_load(pts);
+        assert_eq!(t.total(), want);
+        let (got, trace) = t.range_severity(&BoundingBox::new(-90.0, -180.0, 90.0, 180.0));
+        assert_eq!(got, want);
+        // The root is fully contained: exactly one subtree hit, nothing
+        // visited.
+        assert_eq!(trace.subtree_hits, 1);
+        assert_eq!(trace.nodes_visited, 0);
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let pts = weighted_points(500, 2);
+        let t = AggregateRTree::bulk_load(pts.clone());
+        let q = BoundingBox::of_point(LOS_ANGELES).inflated_miles(7.0);
+        let want: Severity = pts
+            .iter()
+            .filter(|(p, _)| q.contains(*p))
+            .map(|&(_, s)| s)
+            .sum();
+        let (got, trace) = t.range_severity(&q);
+        assert_eq!(got, want);
+        assert!(trace.entries_tested < 500, "should prune most leaves");
+    }
+
+    #[test]
+    fn subtree_aggregation_prunes_interior() {
+        let pts = weighted_points(2000, 3);
+        let t = AggregateRTree::bulk_load(pts);
+        let q = BoundingBox::of_point(LOS_ANGELES).inflated_miles(15.0);
+        let (_, trace) = t.range_severity(&q);
+        assert!(
+            trace.subtree_hits > 0,
+            "a large query must take whole subtrees"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_severity_correct(seed in 0u64..30, dn in -10.0f64..10.0, de in -10.0f64..10.0, r in 1.0f64..15.0) {
+            let pts = weighted_points(200, seed);
+            let t = AggregateRTree::bulk_load(pts.clone());
+            let q = BoundingBox::of_point(LOS_ANGELES.offset_miles(dn, de)).inflated_miles(r);
+            let want: Severity = pts.iter().filter(|(p, _)| q.contains(*p)).map(|&(_, s)| s).sum();
+            let (got, _) = t.range_severity(&q);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

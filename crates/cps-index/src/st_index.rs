@@ -1,0 +1,273 @@
+//! Direct-atypical-related neighbour search (Definition 1).
+//!
+//! Two atypical records are *direct atypical related* when their sensors are
+//! within `δd` miles and their windows within `δt` minutes. Event extraction
+//! (Algorithm 1) repeatedly expands a seed record by its direct relations;
+//! this module provides that query behind the [`NeighborSource`] trait, with
+//! an indexed and a naive implementation so Proposition 1's complexity claim
+//! can be measured (see `cps-bench/benches/retrieval.rs`).
+
+use cps_core::fx::FxHashMap;
+use cps_core::{AtypicalRecord, Params, SensorId, TimeWindow, WindowSpec};
+use cps_geo::RoadNetwork;
+
+/// Source of direct-atypical-related neighbours over a fixed record slice.
+pub trait NeighborSource {
+    /// The records this source indexes.
+    fn records(&self) -> &[AtypicalRecord];
+
+    /// Indices of all records direct-atypical-related to record `idx`
+    /// (excluding `idx` itself).
+    fn direct_related(&self, idx: u32, out: &mut Vec<u32>);
+}
+
+/// Maximum window-index gap allowed by `δt`: `gap · window_minutes < δt`.
+#[inline]
+pub fn max_gap_windows(params: &Params, spec: WindowSpec) -> u32 {
+    if params.delta_t_minutes == 0 {
+        return 0;
+    }
+    params.delta_t_minutes.div_ceil(spec.window_minutes) - 1
+}
+
+/// Indexed neighbour source: `O(log n + answer)` per query.
+///
+/// Layout: for every sensor, the (window, record-index) pairs sorted by
+/// window; for every sensor, the pre-resolved `δd` neighbourhood from the
+/// road network's spatial locator.
+pub struct StIndex<'a> {
+    records: &'a [AtypicalRecord],
+    by_sensor: FxHashMap<SensorId, Vec<(TimeWindow, u32)>>,
+    neighborhoods: FxHashMap<SensorId, Vec<SensorId>>,
+    max_gap: u32,
+}
+
+impl<'a> StIndex<'a> {
+    /// Builds the index over `records`.
+    pub fn build(
+        records: &'a [AtypicalRecord],
+        network: &RoadNetwork,
+        params: &Params,
+        spec: WindowSpec,
+    ) -> Self {
+        let mut by_sensor: FxHashMap<SensorId, Vec<(TimeWindow, u32)>> = FxHashMap::default();
+        for (i, r) in records.iter().enumerate() {
+            by_sensor
+                .entry(r.sensor)
+                .or_default()
+                .push((r.window, i as u32));
+        }
+        for list in by_sensor.values_mut() {
+            list.sort_unstable();
+        }
+        // Resolve the δd neighbourhood once per *distinct* sensor present —
+        // typically far fewer than the record count.
+        let mut neighborhoods: FxHashMap<SensorId, Vec<SensorId>> = FxHashMap::default();
+        for &sensor in by_sensor.keys() {
+            let mut near = network.sensors_near(sensor, params.delta_d_miles);
+            near.push(sensor); // a record relates to later records of its own sensor
+            near.retain(|s| by_sensor.contains_key(s));
+            neighborhoods.insert(sensor, near);
+        }
+        Self {
+            records,
+            by_sensor,
+            neighborhoods,
+            max_gap: max_gap_windows(params, spec),
+        }
+    }
+
+    /// Number of distinct sensors present in the record set.
+    pub fn num_active_sensors(&self) -> usize {
+        self.by_sensor.len()
+    }
+}
+
+impl NeighborSource for StIndex<'_> {
+    fn records(&self) -> &[AtypicalRecord] {
+        self.records
+    }
+
+    fn direct_related(&self, idx: u32, out: &mut Vec<u32>) {
+        let rec = &self.records[idx as usize];
+        let lo = TimeWindow::new(rec.window.raw().saturating_sub(self.max_gap));
+        let hi = TimeWindow::new(rec.window.raw().saturating_add(self.max_gap));
+        let Some(neighborhood) = self.neighborhoods.get(&rec.sensor) else {
+            return;
+        };
+        for sensor in neighborhood {
+            let Some(list) = self.by_sensor.get(sensor) else {
+                continue;
+            };
+            let start = list.partition_point(|&(w, _)| w < lo);
+            for &(w, i) in &list[start..] {
+                if w > hi {
+                    break;
+                }
+                if i != idx {
+                    out.push(i);
+                }
+            }
+        }
+    }
+}
+
+/// Naive neighbour source: full scan per query (`O(n)` per seed, `O(n²)`
+/// over an extraction run) — the unindexed side of Proposition 1.
+pub struct NaiveNeighbors<'a> {
+    records: &'a [AtypicalRecord],
+    network: &'a RoadNetwork,
+    delta_d_miles: f64,
+    max_gap: u32,
+}
+
+impl<'a> NaiveNeighbors<'a> {
+    /// Wraps a record slice for naive scanning.
+    pub fn new(
+        records: &'a [AtypicalRecord],
+        network: &'a RoadNetwork,
+        params: &Params,
+        spec: WindowSpec,
+    ) -> Self {
+        Self {
+            records,
+            network,
+            delta_d_miles: params.delta_d_miles,
+            max_gap: max_gap_windows(params, spec),
+        }
+    }
+}
+
+impl NeighborSource for NaiveNeighbors<'_> {
+    fn records(&self) -> &[AtypicalRecord] {
+        self.records
+    }
+
+    fn direct_related(&self, idx: u32, out: &mut Vec<u32>) {
+        let rec = &self.records[idx as usize];
+        for (i, other) in self.records.iter().enumerate() {
+            let i = i as u32;
+            if i == idx {
+                continue;
+            }
+            if rec.window.gap(other.window) <= self.max_gap
+                && self.network.distance_miles(rec.sensor, other.sensor) <= self.delta_d_miles
+            {
+                out.push(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::Severity;
+    use cps_geo::point::LOS_ANGELES;
+
+    fn grid_network() -> RoadNetwork {
+        RoadNetwork::builder()
+            .highway(
+                "EW",
+                vec![
+                    LOS_ANGELES.offset_miles(0.0, -10.0),
+                    LOS_ANGELES.offset_miles(0.0, 10.0),
+                ],
+                0.5,
+            )
+            .highway(
+                "NS",
+                vec![
+                    LOS_ANGELES.offset_miles(-10.0, 0.0),
+                    LOS_ANGELES.offset_miles(10.0, 0.0),
+                ],
+                0.5,
+            )
+            .build()
+    }
+
+    fn rec(sensor: u32, window: u32) -> AtypicalRecord {
+        AtypicalRecord::new(
+            SensorId::new(sensor),
+            TimeWindow::new(window),
+            Severity::from_secs(120),
+        )
+    }
+
+    #[test]
+    fn gap_computation_matches_paper_defaults() {
+        let spec = WindowSpec::PEMS;
+        // δt = 15 min, 5-min windows: gaps of 0,1,2 windows qualify.
+        assert_eq!(max_gap_windows(&Params::paper_defaults(), spec), 2);
+        assert_eq!(
+            max_gap_windows(&Params::paper_defaults().with_delta_t(5), spec),
+            0
+        );
+        assert_eq!(
+            max_gap_windows(&Params::paper_defaults().with_delta_t(80), spec),
+            15
+        );
+    }
+
+    #[test]
+    fn indexed_matches_naive_on_random_records() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let network = grid_network();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n_sensors = network.num_sensors() as u32;
+        let records: Vec<AtypicalRecord> = (0..600)
+            .map(|_| rec(rng.gen_range(0..n_sensors), rng.gen_range(0..200)))
+            .collect();
+        let params = Params::paper_defaults();
+        let spec = WindowSpec::PEMS;
+        let indexed = StIndex::build(&records, &network, &params, spec);
+        let naive = NaiveNeighbors::new(&records, &network, &params, spec);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..records.len() as u32 {
+            a.clear();
+            b.clear();
+            indexed.direct_related(i, &mut a);
+            naive.direct_related(i, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "record {i}");
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_both_thresholds() {
+        let network = grid_network();
+        // Sensors 0 and 1 are 0.5 miles apart on the same highway; sensor
+        // 30 is ~15 miles away.
+        let records = vec![rec(0, 100), rec(1, 101), rec(1, 110), rec(30, 100)];
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &network, &params, WindowSpec::PEMS);
+        let mut out = Vec::new();
+        idx.direct_related(0, &mut out);
+        // Only (1, 101): (1, 110) is 50 minutes away, (30, 100) too far.
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn same_sensor_consecutive_windows_relate() {
+        let network = grid_network();
+        let records = vec![rec(5, 100), rec(5, 101), rec(5, 104)];
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &network, &params, WindowSpec::PEMS);
+        let mut out = Vec::new();
+        idx.direct_related(0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1]); // window 104 is 20 min away > δt
+        assert_eq!(idx.num_active_sensors(), 1);
+    }
+
+    #[test]
+    fn empty_records_are_fine() {
+        let network = grid_network();
+        let records: Vec<AtypicalRecord> = vec![];
+        let params = Params::paper_defaults();
+        let idx = StIndex::build(&records, &network, &params, WindowSpec::PEMS);
+        assert_eq!(idx.records().len(), 0);
+    }
+}

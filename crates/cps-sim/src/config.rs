@@ -1,0 +1,152 @@
+//! Simulation scales and configuration.
+
+use cps_core::WindowSpec;
+use serde::{Deserialize, Serialize};
+
+/// Deployment scale: how large the synthetic network and archive are.
+///
+/// `Paper` matches the PeMS deployment's magnitudes; the smaller presets
+/// keep identical *ratios* (sensor spacing, atypical fraction, event mix)
+/// while shrinking the sensor count so experiments finish on a laptop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~60 sensors, 2×2 highways — unit tests.
+    Tiny,
+    /// ~300 sensors, 4×3 highways — integration tests and Criterion benches.
+    Small,
+    /// ~1,000 sensors, 7×5 highways — the repro harness default.
+    Medium,
+    /// ~4,000 sensors, 21×17 highways — the paper's magnitude.
+    Paper,
+}
+
+impl Scale {
+    /// (east-west highways, north-south highways, half-extent in miles).
+    pub fn dimensions(self) -> (u32, u32, f64) {
+        match self {
+            Scale::Tiny => (2, 2, 7.0),
+            Scale::Small => (4, 3, 12.0),
+            Scale::Medium => (6, 5, 28.0),
+            Scale::Paper => (21, 17, 55.0),
+        }
+    }
+
+    /// Sensor spacing along highways, miles. The paper-scale deployment
+    /// uses the wider spacing of the real PeMS mainline stations so that
+    /// 38 highways come out at ≈4,000 sensors.
+    pub fn sensor_spacing_miles(self) -> f64 {
+        match self {
+            Scale::Paper => 1.0,
+            _ => 0.5,
+        }
+    }
+
+    /// Parses a scale name (`tiny|small|medium|paper`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master RNG seed; every generated artifact is a pure function of it.
+    pub seed: u64,
+    /// Deployment scale.
+    pub scale: Scale,
+    /// Number of monthly datasets (`D1`..).
+    pub n_datasets: u32,
+    /// Days per dataset (the paper's months; 30 by default).
+    pub days_per_dataset: u32,
+    /// Time discretization.
+    pub spec: WindowSpec,
+    /// Congestion speed threshold (mph) for the atypical criterion.
+    pub congestion_threshold_mph: f32,
+    /// Mean free-flow speed (mph).
+    pub freeflow_mph: f32,
+    /// Probability that a hotspot fires on a weekday.
+    pub hotspot_weekday_prob: f64,
+    /// Probability that a hotspot fires on a weekend day.
+    pub hotspot_weekend_prob: f64,
+    /// Multiplier on the per-site daily firing probability of minor
+    /// recurring background sites (1.0 = each site's own 0.1–0.5).
+    pub background_rate: f64,
+    /// Per-reading probability of an isolated noise dip.
+    pub noise_dip_prob: f64,
+    /// Expected accidents per day per 400 sensors.
+    pub accident_rate: f64,
+}
+
+impl SimConfig {
+    /// Defaults used across the test-suite and the repro harness.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            seed,
+            scale,
+            n_datasets: 12,
+            days_per_dataset: 30,
+            spec: WindowSpec::PEMS,
+            congestion_threshold_mph: 40.0,
+            freeflow_mph: 63.0,
+            hotspot_weekday_prob: 0.9,
+            hotspot_weekend_prob: 0.45,
+            background_rate: 1.0,
+            noise_dip_prob: 0.001,
+            accident_rate: 1.0,
+        }
+    }
+
+    /// Builder-style override of the dataset count.
+    pub fn with_datasets(mut self, n: u32) -> Self {
+        self.n_datasets = n;
+        self
+    }
+
+    /// Builder-style override of days per dataset.
+    pub fn with_days_per_dataset(mut self, n: u32) -> Self {
+        self.days_per_dataset = n;
+        self
+    }
+
+    /// Total days in the archive.
+    pub fn total_days(&self) -> u32 {
+        self.n_datasets * self.days_per_dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        let sensors = |s: Scale| {
+            let (ew, ns, ext) = s.dimensions();
+            (ew + ns) as f64 * 2.0 * ext / s.sensor_spacing_miles()
+        };
+        assert!(sensors(Scale::Tiny) < sensors(Scale::Small));
+        assert!(sensors(Scale::Small) < sensors(Scale::Medium));
+        assert!(sensors(Scale::Medium) < sensors(Scale::Paper));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn config_totals() {
+        let c = SimConfig::new(Scale::Tiny, 1)
+            .with_datasets(3)
+            .with_days_per_dataset(10);
+        assert_eq!(c.total_days(), 30);
+    }
+}

@@ -1,0 +1,88 @@
+//! Context dimensions: weather and accidents.
+//!
+//! §V-D of the paper sketches joining atypical clusters with *context*
+//! dimensions — "the weather dimension can be joined with temporal
+//! dimension with the date and the accident dimension can be joined with
+//! temporal and spatial dimensions by the accident time and location". The
+//! simulator emits both streams; `atypical::context` performs the joins.
+
+use cps_core::{SensorId, TimeWindow};
+use serde::{Deserialize, Serialize};
+
+/// Daily weather condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weather {
+    /// Dry and clear.
+    Clear,
+    /// Rain: more and longer congestion events.
+    Rain,
+    /// Storm: substantially more and longer events.
+    Storm,
+}
+
+impl Weather {
+    /// Multiplier on hotspot firing probability.
+    pub fn event_rate_multiplier(self) -> f64 {
+        match self {
+            Weather::Clear => 1.0,
+            Weather::Rain => 1.4,
+            Weather::Storm => 2.0,
+        }
+    }
+
+    /// Multiplier on event duration.
+    pub fn duration_multiplier(self) -> f64 {
+        match self {
+            Weather::Clear => 1.0,
+            Weather::Rain => 1.3,
+            Weather::Storm => 1.7,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Weather::Clear => "clear",
+            Weather::Rain => "rain",
+            Weather::Storm => "storm",
+        }
+    }
+}
+
+/// Weather observation for one day.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeatherDay {
+    /// Global day index.
+    pub day: u32,
+    /// Condition on that day.
+    pub weather: Weather,
+}
+
+/// A simulated accident report.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Accident {
+    /// Sensor nearest the accident site.
+    pub sensor: SensorId,
+    /// Window the accident was reported in.
+    pub window: TimeWindow,
+    /// Severity grade 1 (fender-bender) ..= 3 (multi-vehicle).
+    pub grade: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipliers_increase_with_severity() {
+        assert!(Weather::Clear.event_rate_multiplier() < Weather::Rain.event_rate_multiplier());
+        assert!(Weather::Rain.event_rate_multiplier() < Weather::Storm.event_rate_multiplier());
+        assert!(Weather::Clear.duration_multiplier() < Weather::Storm.duration_multiplier());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Weather::Clear.label(), "clear");
+        assert_eq!(Weather::Storm.label(), "storm");
+    }
+}

@@ -1,0 +1,201 @@
+//! The congestion diffusion model.
+//!
+//! A planned event seeds at one sensor and diffuses along the *road graph*
+//! (not free space): the affected radius grows to a peak and shrinks back
+//! following a half-sine envelope, and intensity decays with hop distance
+//! from the seed. This reproduces the paper's description of congestion —
+//! "starts from a single street … swiftly expands along the street …
+//! covers hundreds of sensors when reaching the full size" — and guarantees
+//! the generated records form `δd`/`δt`-connected components.
+
+use cps_core::fx::FxHashMap;
+use cps_core::{SensorId, TimeWindow};
+use cps_geo::RoadNetwork;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Why an event was planned — joins onto the context dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventCause {
+    /// Recurring rush-hour hotspot (index into the scenario's hotspot list).
+    Hotspot(u32),
+    /// Non-recurring background event.
+    Background,
+    /// Triggered by a simulated accident.
+    Accident,
+}
+
+/// Parameters of one planned event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventTemplate {
+    /// Sensor where the event starts.
+    pub seed_sensor: SensorId,
+    /// First affected window (global index).
+    pub start_window: TimeWindow,
+    /// Lifetime in windows.
+    pub duration_windows: u32,
+    /// Maximum diffusion radius, in road-graph hops.
+    pub peak_radius_hops: u32,
+    /// Peak intensity in `(0, 1]` (1 = traffic fully stopped at the seed).
+    pub peak_intensity: f64,
+    /// Floor of the time envelope in `(0, 1]`: rush-hour corridors hold a
+    /// near-peak plateau (high sustain); transient blips rise and fall
+    /// (low sustain).
+    pub sustain: f64,
+}
+
+/// A planned event with its cause.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlannedEvent {
+    /// Diffusion parameters.
+    pub template: EventTemplate,
+    /// What caused it.
+    pub cause: EventCause,
+}
+
+impl EventTemplate {
+    /// Time envelope at offset `k` (half-sine over the duration, floored so
+    /// the event never vanishes mid-life).
+    #[inline]
+    pub fn time_shape(&self, k: u32) -> f64 {
+        let d = self.duration_windows.max(1) as f64;
+        let x = std::f64::consts::PI * (k as f64 + 0.5) / d;
+        x.sin().max(self.sustain)
+    }
+
+    /// The last affected window (exclusive).
+    pub fn end_window(&self) -> TimeWindow {
+        TimeWindow::new(self.start_window.raw() + self.duration_windows)
+    }
+
+    /// Computes per-(sensor, window) congestion intensity in `(0, 1]`.
+    ///
+    /// Returns a map from affected sensor/window pairs to intensity; the
+    /// caller overlays multiple events by taking the maximum.
+    pub fn impact(
+        &self,
+        network: &RoadNetwork,
+    ) -> FxHashMap<(SensorId, TimeWindow), f64> {
+        let hops = hop_distances(network, self.seed_sensor, self.peak_radius_hops);
+        let mut out = FxHashMap::default();
+        for k in 0..self.duration_windows {
+            let shape = self.time_shape(k);
+            let active_radius = (self.peak_radius_hops as f64 * shape).ceil() as u32;
+            let w = TimeWindow::new(self.start_window.raw() + k);
+            for (&sensor, &hop) in &hops {
+                if hop > active_radius {
+                    continue;
+                }
+                // Congestion is plateau-like along the jammed stretch and
+                // drops near the edge (stop-and-go everywhere inside the
+                // queue, not a smooth cone).
+                let falloff = 1.0 - 0.3 * hop as f64 / (active_radius as f64 + 1.0);
+                let intensity = self.peak_intensity * shape * falloff;
+                if intensity > 0.02 {
+                    out.insert((sensor, w), intensity);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// BFS hop distances from `seed` out to `max_hops` over the road graph.
+pub fn hop_distances(
+    network: &RoadNetwork,
+    seed: SensorId,
+    max_hops: u32,
+) -> FxHashMap<SensorId, u32> {
+    let mut dist: FxHashMap<SensorId, u32> = FxHashMap::default();
+    let mut queue = VecDeque::new();
+    dist.insert(seed, 0);
+    queue.push_back(seed);
+    while let Some(s) = queue.pop_front() {
+        let d = dist[&s];
+        if d == max_hops {
+            continue;
+        }
+        for &n in network.road_neighbors(s) {
+            dist.entry(n).or_insert_with(|| {
+                queue.push_back(n);
+                d + 1
+            });
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+    use crate::network::build_network;
+
+    fn template(net: &RoadNetwork) -> EventTemplate {
+        EventTemplate {
+            seed_sensor: SensorId::new((net.num_sensors() / 2) as u32),
+            start_window: TimeWindow::new(100),
+            duration_windows: 12,
+            peak_radius_hops: 6,
+            peak_intensity: 0.9,
+            sustain: 0.2,
+        }
+    }
+
+    #[test]
+    fn hop_distances_respect_radius() {
+        let net = build_network(Scale::Tiny, 1);
+        let d = hop_distances(&net, SensorId::new(3), 4);
+        assert_eq!(d[&SensorId::new(3)], 0);
+        assert!(d.values().all(|&h| h <= 4));
+        assert!(d.len() > 4, "BFS should reach along the highway");
+    }
+
+    #[test]
+    fn impact_grows_then_shrinks() {
+        let net = build_network(Scale::Tiny, 1);
+        let t = template(&net);
+        let impact = t.impact(&net);
+        let width_at = |k: u32| {
+            let w = TimeWindow::new(t.start_window.raw() + k);
+            impact.keys().filter(|&&(_, kw)| kw == w).count()
+        };
+        let early = width_at(0);
+        let mid = width_at(t.duration_windows / 2);
+        let late = width_at(t.duration_windows - 1);
+        assert!(mid > early, "event must expand: early={early} mid={mid}");
+        assert!(mid > late, "event must contract: mid={mid} late={late}");
+    }
+
+    #[test]
+    fn intensity_is_highest_at_seed_and_peak() {
+        let net = build_network(Scale::Tiny, 1);
+        let t = template(&net);
+        let impact = t.impact(&net);
+        let peak_w = TimeWindow::new(t.start_window.raw() + t.duration_windows / 2);
+        let at_seed = impact[&(t.seed_sensor, peak_w)];
+        for (&(_, _), &v) in &impact {
+            assert!(v <= at_seed + 1e-9);
+            assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+
+    #[test]
+    fn impact_stays_within_time_bounds() {
+        let net = build_network(Scale::Tiny, 1);
+        let t = template(&net);
+        for &(_, w) in t.impact(&net).keys() {
+            assert!(w >= t.start_window && w < t.end_window());
+        }
+    }
+
+    #[test]
+    fn time_shape_is_positive_and_bounded() {
+        let net = build_network(Scale::Tiny, 1);
+        let t = template(&net);
+        for k in 0..t.duration_windows {
+            let s = t.time_shape(k);
+            assert!((0.2..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic LA-like freeway network construction.
+//!
+//! Lays an irregular grid of east-west and north-south freeways over a
+//! metropolitan extent, with slight jitter so interchanges are not perfectly
+//! aligned. Sensor spacing matches PeMS (~0.5 mile between detector
+//! stations).
+
+use crate::config::Scale;
+use cps_geo::{point::LOS_ANGELES, Point, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the freeway network for a scale, deterministically in `seed`.
+pub fn build_network(scale: Scale, seed: u64) -> RoadNetwork {
+    let (n_ew, n_ns, extent) = scale.dimensions();
+    let spacing = scale.sensor_spacing_miles();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e65_7477_6f72_6b00);
+    let mut builder = RoadNetwork::builder();
+
+    // East-west freeways, spread north-south across the extent.
+    for i in 0..n_ew {
+        let frac = if n_ew == 1 {
+            0.5
+        } else {
+            i as f64 / (n_ew - 1) as f64
+        };
+        let offset_n = (frac - 0.5) * 2.0 * extent * 0.85 + rng.gen_range(-0.8..0.8);
+        let waypoints = wiggly_line(
+            LOS_ANGELES.offset_miles(offset_n, -extent),
+            LOS_ANGELES.offset_miles(offset_n, extent),
+            &mut rng,
+        );
+        builder = builder.highway(format!("I-{} (EW)", 10 + 10 * i), waypoints, spacing);
+    }
+    // North-south freeways, spread east-west.
+    for i in 0..n_ns {
+        let frac = if n_ns == 1 {
+            0.5
+        } else {
+            i as f64 / (n_ns - 1) as f64
+        };
+        let offset_e = (frac - 0.5) * 2.0 * extent * 0.85 + rng.gen_range(-0.8..0.8);
+        let waypoints = wiggly_line(
+            LOS_ANGELES.offset_miles(-extent, offset_e),
+            LOS_ANGELES.offset_miles(extent, offset_e),
+            &mut rng,
+        );
+        builder = builder.highway(format!("SR-{} (NS)", 101 + 2 * i), waypoints, spacing);
+    }
+    builder.build()
+}
+
+/// A gently wiggling polyline between two endpoints (freeways are not
+/// perfectly straight; this also avoids degenerate colinear interchanges).
+fn wiggly_line(a: Point, b: Point, rng: &mut StdRng) -> Vec<Point> {
+    const SEGMENTS: usize = 8;
+    let mut pts = Vec::with_capacity(SEGMENTS + 1);
+    for k in 0..=SEGMENTS {
+        let t = k as f64 / SEGMENTS as f64;
+        let mut p = a.lerp(b, t);
+        if k != 0 && k != SEGMENTS {
+            p = p.offset_miles(rng.gen_range(-0.4..0.4), rng.gen_range(-0.4..0.4));
+        }
+        pts.push(p);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_is_deterministic_in_seed() {
+        let a = build_network(Scale::Tiny, 7);
+        let b = build_network(Scale::Tiny, 7);
+        assert_eq!(a.num_sensors(), b.num_sensors());
+        for (x, y) in a.sensors().iter().zip(b.sensors()) {
+            assert_eq!(x, y);
+        }
+        let c = build_network(Scale::Tiny, 8);
+        let same = a
+            .sensors()
+            .iter()
+            .zip(c.sensors())
+            .all(|(x, y)| x.location == y.location);
+        assert!(!same, "different seeds must differ");
+    }
+
+    #[test]
+    fn tiny_scale_sensor_count() {
+        let net = build_network(Scale::Tiny, 1);
+        // 4 highways × ~14 miles at 0.5-mile spacing ≈ 28 sensors each.
+        assert!(
+            (80..160).contains(&net.num_sensors()),
+            "got {}",
+            net.num_sensors()
+        );
+    }
+
+    #[test]
+    fn network_is_connected_enough_for_diffusion() {
+        // Every sensor should have at least one road neighbour.
+        let net = build_network(Scale::Small, 3);
+        let isolated = net
+            .sensors()
+            .iter()
+            .filter(|s| net.road_neighbors(s.id).is_empty())
+            .count();
+        assert_eq!(isolated, 0);
+    }
+
+    #[test]
+    fn highways_cross_and_interlink() {
+        let net = build_network(Scale::Tiny, 5);
+        let mut cross_links = 0usize;
+        for s in net.sensors() {
+            for &n in net.road_neighbors(s.id) {
+                if net.sensor(n).highway != s.highway {
+                    cross_links += 1;
+                }
+            }
+        }
+        assert!(cross_links > 0, "grid must have interchanges");
+    }
+}

@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3) with a lazily built lookup table.
+//!
+//! Implemented in-repo because the workspace's offline crate set has no CRC
+//! crate; 30 lines buys end-to-end corruption detection on every block.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *e = crc;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = vec![0xABu8; 1024];
+        let base = crc32(&data);
+        for pos in [0usize, 13, 511, 1023] {
+            let mut corrupted = data.clone();
+            corrupted[pos] ^= 0x01;
+            assert_ne!(crc32(&corrupted), base, "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn sensitive_to_order() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared I/O accounting.
+//!
+//! The paper measures query cost both in wall-clock time and in *I/O* units
+//! (Figure 17(b) counts input micro-clusters). [`IoStats`] gives every read
+//! path a cheap, thread-safe tally so the reproduction harness can report
+//! deterministic I/O numbers alongside the noisy wall-clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe I/O counters. Clone the `Arc` into every reader.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    bytes_read: AtomicU64,
+    records_read: AtomicU64,
+    blocks_read: AtomicU64,
+    files_opened: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a fresh, shareable counter set.
+    pub fn shared() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    /// Records `n` payload bytes read from disk.
+    #[inline]
+    pub fn add_bytes(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` records decoded.
+    #[inline]
+    pub fn add_records(&self, n: u64) {
+        self.records_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one block read.
+    #[inline]
+    pub fn add_block(&self) {
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one file open.
+    #[inline]
+    pub fn add_file(&self) {
+        self.files_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a block-cache hit.
+    #[inline]
+    pub fn add_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a block-cache miss.
+    #[inline]
+    pub fn add_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent snapshot of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            records_read: self.records_read.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            files_opened: self.files_opened.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.records_read.store(0, Ordering::Relaxed);
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.files_opened.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Payload bytes read from disk.
+    pub bytes_read: u64,
+    /// Records decoded.
+    pub records_read: u64,
+    /// Blocks read.
+    pub blocks_read: u64,
+    /// Files opened.
+    pub files_opened: u64,
+    /// Block-cache hits.
+    pub cache_hits: u64,
+    /// Block-cache misses.
+    pub cache_misses: u64,
+}
+
+impl IoSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn since(self, earlier: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            records_read: self.records_read - earlier.records_read,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            files_opened: self.files_opened - earlier.files_opened,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::shared();
+        s.add_bytes(100);
+        s.add_bytes(28);
+        s.add_records(5);
+        s.add_block();
+        s.add_file();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_read, 128);
+        assert_eq!(snap.records_read, 5);
+        assert_eq!(snap.blocks_read, 1);
+        assert_eq!(snap.files_opened, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::shared();
+        s.add_bytes(10);
+        s.add_cache_hit();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let s = IoStats::shared();
+        s.add_records(10);
+        let before = s.snapshot();
+        s.add_records(7);
+        let delta = s.snapshot().since(before);
+        assert_eq!(delta.records_read, 7);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let s = IoStats::shared();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        s.add_records(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().records_read, 80_000);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cps-storage
+//!
+//! Disk substrate for the atypical-cps workspace. The paper's evaluation
+//! runs over twelve monthly PeMS datasets (54 GB total); the construction
+//! experiments (Figures 15/16) are dominated by how the raw and atypical
+//! record streams are scanned, so the storage layer is built for exactly
+//! that access pattern:
+//!
+//! * [`mod@format`] — fixed-width binary record encodings inside CRC-checked
+//!   blocks (corruption is detected, not silently propagated),
+//! * [`writer`] / [`reader`] — streaming per-day partition files,
+//! * [`store`] — the dataset directory layout (`D1/…/D12`, one raw and one
+//!   atypical partition per day) plus a JSON catalog,
+//! * [`iostats`] — shared atomic I/O counters; the paper reports query I/O
+//!   as *number of input clusters* and construction cost as scan volume, so
+//!   every read path is accounted,
+//! * [`cache`] — a block LRU so repeated scans of hot partitions (the online
+//!   query experiments) do not re-hit the filesystem.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod crc;
+pub mod format;
+pub mod iostats;
+pub mod reader;
+pub mod store;
+pub mod writer;
+
+pub use iostats::IoStats;
+pub use reader::PartitionReader;
+pub use store::{DatasetCatalog, DatasetMeta, DatasetStore};
+pub use writer::PartitionWriter;

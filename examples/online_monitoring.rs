@@ -1,0 +1,54 @@
+//! Live operations-room view: the streaming extractor consumes the sensor
+//! feed window by window and reports each congestion minutes after it
+//! dissipates — no end-of-day batch.
+//!
+//! ```text
+//! cargo run --release --example online_monitoring
+//! ```
+
+use atypical::online::OnlineExtractor;
+use cps_core::record::AtypicalCriterion;
+use cps_core::{AtypicalRecord, Params};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+
+fn main() {
+    let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 42));
+    let spec = sim.config().spec;
+    let criterion = sim.criterion();
+    let params = Params::paper_defaults();
+
+    // One day of readings arriving in window order (the live feed).
+    let mut feed = sim.generate_day(0).raw;
+    feed.sort_unstable_by_key(|r| (r.window, r.sensor));
+
+    let mut extractor = OnlineExtractor::new(sim.network(), params, spec);
+    let mut reported = 0;
+    let mut current_window = None;
+
+    for reading in &feed {
+        if current_window != Some(reading.window) {
+            // A new window begins: first surface everything that sealed.
+            for cluster in extractor.drain_sealed() {
+                reported += 1;
+                println!(
+                    "[{}] cluster closed: {}",
+                    spec.clock_label(reading.window),
+                    cluster.describe(spec)
+                );
+            }
+            current_window = Some(reading.window);
+        }
+        if let Some(severity) = criterion.classify(reading) {
+            extractor.push(AtypicalRecord::new(reading.sensor, reading.window, severity));
+        } else {
+            extractor.advance_to(reading.window);
+        }
+    }
+
+    // End of day: close out whatever is still open.
+    for cluster in extractor.finish() {
+        reported += 1;
+        println!("[end of day] cluster closed: {}", cluster.describe(spec));
+    }
+    println!("\n{reported} atypical events reported online");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: from raw CPS readings to atypical clusters in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use atypical::event::extract_events_and_clusters;
+use cps_core::ids::ClusterIdGen;
+use cps_core::record::AtypicalCriterion;
+use cps_core::{AtypicalRecord, Params};
+use cps_index::StIndex;
+use cps_sim::{Scale, SimConfig, TrafficSim};
+
+fn main() {
+    // 1. A deployment: the simulator stands in for a real CPS feed.
+    let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 42));
+    let network = sim.network();
+    println!(
+        "deployment: {} sensors on {} highways",
+        network.num_sensors(),
+        network.highways().len()
+    );
+
+    // 2. Pre-process one day of raw readings into atypical records
+    //    (the PR step: apply the congestion criterion).
+    let criterion = sim.criterion();
+    let day = sim.generate_day(0);
+    let records: Vec<AtypicalRecord> = day
+        .raw
+        .iter()
+        .filter_map(|r| {
+            criterion
+                .classify(r)
+                .map(|sev| AtypicalRecord::new(r.sensor, r.window, sev))
+        })
+        .collect();
+    println!(
+        "day 0: {} raw readings -> {} atypical records ({:.1}%)",
+        day.raw.len(),
+        records.len(),
+        100.0 * records.len() as f64 / day.raw.len() as f64
+    );
+
+    // 3. Retrieve atypical events and summarize them as micro-clusters
+    //    (Algorithm 1), using the spatio-temporal index.
+    let params = Params::paper_defaults();
+    let index = StIndex::build(&records, network, &params, sim.config().spec);
+    let mut ids = ClusterIdGen::new(1);
+    let mut pairs = extract_events_and_clusters(&index, &mut ids);
+    pairs.sort_by_key(|(_, c)| std::cmp::Reverse(c.severity()));
+
+    println!("\ntop atypical events of the day:");
+    for (event, cluster) in pairs.iter().take(5) {
+        println!(
+            "  {} ({} records)",
+            cluster.describe(sim.config().spec),
+            event.len()
+        );
+    }
+}

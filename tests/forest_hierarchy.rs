@@ -1,0 +1,126 @@
+//! Forest-level invariants over realistic simulated data: hierarchical
+//! aggregation conserves severity, week/month materializations stay
+//! consistent with flat integration, and the properties of §III hold end
+//! to end.
+
+use atypical::integrate::is_fixpoint;
+use atypical::pipeline::build_forest_from_records;
+use atypical::similarity::similarity_folded;
+use cps_core::{Params, Severity, WindowSpec};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+
+fn forest_of(days: u32, seed: u64) -> (TrafficSim, atypical::AtypicalForest) {
+    let sim = TrafficSim::new(
+        SimConfig::new(Scale::Tiny, seed)
+            .with_datasets(1)
+            .with_days_per_dataset(days),
+    );
+    let params = Params::paper_defaults();
+    let built = build_forest_from_records(
+        (0..days).map(|d| (d, sim.atypical_day(d))),
+        sim.network(),
+        &params,
+        sim.config().spec,
+    );
+    (sim, built.forest)
+}
+
+#[test]
+fn severity_is_conserved_up_the_hierarchy() {
+    let (_, mut forest) = forest_of(14, 42);
+    let leaf_total: Severity = forest
+        .micros_in_days(0, 14)
+        .iter()
+        .map(|c| c.severity())
+        .sum();
+    let week_total: Severity = (0..2)
+        .flat_map(|w| forest.week(w).to_vec())
+        .map(|c| c.severity())
+        .sum();
+    assert_eq!(leaf_total, week_total);
+    let flat: Severity = forest
+        .integrate_days(0, 14)
+        .iter()
+        .map(|c| c.severity())
+        .sum();
+    assert_eq!(leaf_total, flat);
+}
+
+#[test]
+fn micro_count_is_conserved_through_merges() {
+    let (_, mut forest) = forest_of(14, 7);
+    let n_micros = forest.num_micro_clusters() as u32;
+    let merged: u32 = forest
+        .integrate_days(0, 14)
+        .iter()
+        .map(|c| c.merged_count)
+        .sum();
+    assert_eq!(n_micros, merged);
+}
+
+#[test]
+fn integration_output_is_a_fixpoint_under_folded_similarity() {
+    let (_, mut forest) = forest_of(7, 21);
+    let params = *forest.params();
+    let macros = forest.integrate_days(0, 7);
+    // No pair of output clusters is still similar under the integration's
+    // own (folded) measure.
+    let wpd = WindowSpec::PEMS.windows_per_day();
+    for (i, a) in macros.iter().enumerate() {
+        for b in &macros[i + 1..] {
+            assert!(
+                similarity_folded(a, b, params.balance, wpd) <= params.delta_sim,
+                "{} and {} should have merged",
+                a.id,
+                b.id
+            );
+        }
+    }
+    // Under absolute similarity the clusters are at most as similar as
+    // under folded similarity (folding only adds temporal overlap for
+    // same-clock windows), so the absolute fixpoint holds too.
+    assert!(is_fixpoint(&macros, &params));
+}
+
+#[test]
+fn recurring_corridor_appears_every_weekday_and_merges() {
+    let (sim, mut forest) = forest_of(7, 42);
+    let spec = sim.config().spec;
+    // The strongest weekly macro-cluster should aggregate several days'
+    // micro-clusters (the eternal major corridor).
+    let week = forest.week(0).to_vec();
+    let top = week
+        .iter()
+        .max_by_key(|c| c.severity())
+        .expect("non-empty week");
+    assert!(
+        top.merged_count >= 4,
+        "major corridor should recur and merge: {}",
+        top.merged_count
+    );
+    // Its temporal feature covers several distinct days.
+    let days: std::collections::HashSet<u32> =
+        top.tf.keys().map(|w| spec.day_of(w)).collect();
+    assert!(days.len() >= 4, "covers {} days", days.len());
+}
+
+#[test]
+fn weekday_weekend_trees_partition_all_micros() {
+    let (_, mut forest) = forest_of(14, 42);
+    let n_micros = forest.num_micro_clusters() as u32;
+    let parts = forest.integrate_by_path(0, 14, atypical::forest::AggregationPath::WeekdayWeekend);
+    let total: u32 = parts
+        .iter()
+        .flat_map(|(_, cs)| cs.iter())
+        .map(|c| c.merged_count)
+        .sum();
+    assert_eq!(total, n_micros);
+}
+
+#[test]
+fn forest_is_deterministic_for_fixed_input() {
+    let (_, mut a) = forest_of(7, 13);
+    let (_, mut b) = forest_of(7, 13);
+    assert_eq!(a.week(0), b.week(0));
+    assert_eq!(a.integrate_days(0, 7), b.integrate_days(0, 7));
+}

@@ -1,0 +1,141 @@
+//! The paper's central guarantee, exercised across seeds: red-zone guided
+//! clustering (Gui) finds every significant cluster that integrating
+//! everything (All) finds, while the beforehand-pruning baseline (Pru) may
+//! not.
+
+use atypical::eval::{evaluate, matches};
+use atypical::pipeline::build_forest_from_records;
+use atypical::{Query, QueryEngine, Strategy};
+use cps_core::Params;
+use cps_geo::UniformGrid;
+use cps_sim::{Scale, SimConfig, TrafficSim};
+
+fn run_seed(seed: u64, days: u32) -> (f64, f64, usize) {
+    let sim = TrafficSim::new(
+        SimConfig::new(Scale::Tiny, seed)
+            .with_datasets(1)
+            .with_days_per_dataset(days),
+    );
+    let params = Params::paper_defaults();
+    let built = build_forest_from_records(
+        (0..days).map(|d| (d, sim.atypical_day(d))),
+        sim.network(),
+        &params,
+        sim.config().spec,
+    );
+    let mut forest = built.forest;
+    let partition = UniformGrid::over(sim.network(), 3.0).partition(sim.network());
+    let engine = QueryEngine::new(sim.network(), &partition, params);
+    let query = Query::days(0, days);
+
+    let all = engine.execute(&mut forest, &query, Strategy::All);
+    let gui = engine.execute(&mut forest, &query, Strategy::Gui);
+    let truth: Vec<_> = all.significant().into_iter().cloned().collect();
+    let truth_refs: Vec<&atypical::AtypicalCluster> = truth.iter().collect();
+    let gui_pr = evaluate(&gui, &truth_refs);
+    (gui_pr.recall, gui_pr.precision, truth.len())
+}
+
+#[test]
+fn gui_has_no_false_negatives_across_seeds() {
+    let mut nonempty_truths = 0;
+    for seed in [1u64, 7, 42, 99, 1234] {
+        let (recall, _, truth) = run_seed(seed, 7);
+        if truth > 0 {
+            nonempty_truths += 1;
+        }
+        assert_eq!(recall, 1.0, "seed {seed}: Gui lost a significant cluster");
+    }
+    assert!(
+        nonempty_truths >= 2,
+        "fixture too weak: most seeds produced no significant clusters"
+    );
+}
+
+#[test]
+fn final_check_makes_gui_precision_one() {
+    let sim = TrafficSim::new(
+        SimConfig::new(Scale::Tiny, 42)
+            .with_datasets(1)
+            .with_days_per_dataset(7),
+    );
+    let params = Params::paper_defaults();
+    let built = build_forest_from_records(
+        (0..7).map(|d| (d, sim.atypical_day(d))),
+        sim.network(),
+        &params,
+        sim.config().spec,
+    );
+    let mut forest = built.forest;
+    let partition = UniformGrid::over(sim.network(), 3.0).partition(sim.network());
+    let engine = QueryEngine::new(sim.network(), &partition, params).with_final_check();
+    let result = engine.execute(&mut forest, &Query::days(0, 7), Strategy::Gui);
+    assert!(result.macros.iter().all(|c| c.severity() > result.threshold));
+}
+
+#[test]
+fn gui_significant_clusters_match_all_clusters_in_content() {
+    // Beyond set-level recall: each Gui significant cluster corresponds to
+    // an All cluster with high similarity (the features survive pruning
+    // nearly intact, since only trivia outside red zones is dropped).
+    let sim = TrafficSim::new(
+        SimConfig::new(Scale::Tiny, 42)
+            .with_datasets(1)
+            .with_days_per_dataset(7),
+    );
+    let params = Params::paper_defaults();
+    let built = build_forest_from_records(
+        (0..7).map(|d| (d, sim.atypical_day(d))),
+        sim.network(),
+        &params,
+        sim.config().spec,
+    );
+    let mut forest = built.forest;
+    let partition = UniformGrid::over(sim.network(), 3.0).partition(sim.network());
+    let engine = QueryEngine::new(sim.network(), &partition, params);
+    let all = engine.execute(&mut forest, &Query::days(0, 7), Strategy::All);
+    let gui = engine.execute(&mut forest, &Query::days(0, 7), Strategy::Gui);
+    for g in gui.significant() {
+        assert!(
+            all.macros.iter().any(|a| matches(g, a)),
+            "Gui cluster {} has no counterpart in All",
+            g.id
+        );
+        // Severity of the Gui reconstruction is within 10% of the best
+        // matching All cluster.
+        let best = all
+            .macros
+            .iter()
+            .filter(|a| matches(g, a))
+            .map(|a| a.severity())
+            .max()
+            .unwrap();
+        assert!(g.severity().as_secs() * 10 >= best.as_secs() * 9);
+    }
+}
+
+#[test]
+fn pru_inputs_are_subset_of_gui_quality() {
+    // Pru is the most aggressive filter: it never feeds more clusters to
+    // integration than Gui at paper-default parameters.
+    for seed in [3u64, 21] {
+        let sim = TrafficSim::new(
+            SimConfig::new(Scale::Tiny, seed)
+                .with_datasets(1)
+                .with_days_per_dataset(7),
+        );
+        let params = Params::paper_defaults();
+        let built = build_forest_from_records(
+            (0..7).map(|d| (d, sim.atypical_day(d))),
+            sim.network(),
+            &params,
+            sim.config().spec,
+        );
+        let mut forest = built.forest;
+        let partition = UniformGrid::over(sim.network(), 3.0).partition(sim.network());
+        let engine = QueryEngine::new(sim.network(), &partition, params);
+        let pru = engine.execute(&mut forest, &Query::days(0, 7), Strategy::Pru);
+        let gui = engine.execute(&mut forest, &Query::days(0, 7), Strategy::Gui);
+        assert!(pru.input_clusters <= gui.input_clusters, "seed {seed}");
+    }
+}
