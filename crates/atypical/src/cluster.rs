@@ -174,8 +174,8 @@ mod tests {
     fn example_a() -> AtypicalCluster {
         cluster_from(
             vec![
-                rec(1, 97, 4.0),  // 8:05–8:10, 4 min
-                rec(1, 98, 5.0),  // 8:10–8:15, 5 min
+                rec(1, 97, 4.0), // 8:05–8:10, 4 min
+                rec(1, 98, 5.0), // 8:10–8:15, 5 min
                 rec(2, 98, 5.0),
                 rec(3, 99, 5.0),
                 rec(4, 99, 2.0),

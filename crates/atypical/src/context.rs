@@ -85,9 +85,7 @@ pub fn linked_events<'a>(
     let hi = w_hi.raw().saturating_add(slack_windows);
     events
         .iter()
-        .filter(|e| {
-            e.window.raw() >= lo && e.window.raw() <= hi && cluster.sf.contains(e.sensor)
-        })
+        .filter(|e| e.window.raw() >= lo && e.window.raw() <= hi && cluster.sf.contains(e.sensor))
         .collect()
 }
 
@@ -118,10 +116,7 @@ mod tests {
             .collect();
         let total = tf.total();
         let per = Severity::from_secs(total.as_secs() / sensors.len() as u64);
-        let mut sf: SpatialFeature = sensors
-            .iter()
-            .map(|&s| (SensorId::new(s), per))
-            .collect();
+        let mut sf: SpatialFeature = sensors.iter().map(|&s| (SensorId::new(s), per)).collect();
         // Fix rounding drift so the invariant holds.
         let drift = total.saturating_sub(sf.total());
         if !drift.is_zero() {
@@ -154,10 +149,22 @@ mod tests {
     fn linked_events_need_space_and_time_overlap() {
         let c = cluster_on_windows(&[(100, 50.0), (101, 50.0)], &[1, 2]);
         let events = vec![
-            PointEvent { sensor: SensorId::new(1), window: TimeWindow::new(99) }, // slack hit
-            PointEvent { sensor: SensorId::new(1), window: TimeWindow::new(50) }, // too early
-            PointEvent { sensor: SensorId::new(9), window: TimeWindow::new(100) }, // wrong place
-            PointEvent { sensor: SensorId::new(2), window: TimeWindow::new(101) }, // direct hit
+            PointEvent {
+                sensor: SensorId::new(1),
+                window: TimeWindow::new(99),
+            }, // slack hit
+            PointEvent {
+                sensor: SensorId::new(1),
+                window: TimeWindow::new(50),
+            }, // too early
+            PointEvent {
+                sensor: SensorId::new(9),
+                window: TimeWindow::new(100),
+            }, // wrong place
+            PointEvent {
+                sensor: SensorId::new(2),
+                window: TimeWindow::new(101),
+            }, // direct hit
         ];
         let linked = linked_events(&c, &events, 2);
         assert_eq!(linked.len(), 2);

@@ -8,9 +8,9 @@
 //! and indexed `O(N + n·log n)` variants of Proposition 1.
 
 use crate::cluster::AtypicalCluster;
+use cps_core::ids::ClusterIdGen;
 use cps_core::measure::HolisticModel;
 use cps_core::{AtypicalRecord, Severity};
-use cps_core::ids::ClusterIdGen;
 use cps_index::NeighborSource;
 
 /// A raw atypical event: the full set of member records.
@@ -188,7 +188,12 @@ mod tests {
         let net = line_network();
         let mut rng = StdRng::seed_from_u64(5);
         let records: Vec<AtypicalRecord> = (0..300)
-            .map(|_| rec(rng.gen_range(0..net.num_sensors() as u32), rng.gen_range(0..300)))
+            .map(|_| {
+                rec(
+                    rng.gen_range(0..net.num_sensors() as u32),
+                    rng.gen_range(0..300),
+                )
+            })
             .collect();
         let params = Params::paper_defaults();
         let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);
@@ -196,8 +201,10 @@ mod tests {
         let total: usize = events.iter().map(AtypicalEvent::len).sum();
         assert_eq!(total, records.len());
         // Each record appears exactly once.
-        let mut seen: Vec<AtypicalRecord> =
-            events.iter().flat_map(|e| e.records().iter().copied()).collect();
+        let mut seen: Vec<AtypicalRecord> = events
+            .iter()
+            .flat_map(|e| e.records().iter().copied())
+            .collect();
         seen.sort_unstable_by_key(|r| (r.sensor, r.window));
         let mut want = records.clone();
         want.sort_unstable_by_key(|r| (r.sensor, r.window));
@@ -210,7 +217,12 @@ mod tests {
         let net = line_network();
         let mut rng = StdRng::seed_from_u64(9);
         let records: Vec<AtypicalRecord> = (0..200)
-            .map(|_| rec(rng.gen_range(0..net.num_sensors() as u32), rng.gen_range(0..150)))
+            .map(|_| {
+                rec(
+                    rng.gen_range(0..net.num_sensors() as u32),
+                    rng.gen_range(0..150),
+                )
+            })
             .collect();
         let params = Params::paper_defaults();
         let idx = StIndex::build(&records, &net, &params, WindowSpec::PEMS);

@@ -63,9 +63,7 @@ impl<K: Copy + Ord> Feature<K> {
 
     /// Whether `key` is present.
     pub fn contains(&self, key: K) -> bool {
-        self.entries
-            .binary_search_by_key(&key, |&(k, _)| k)
-            .is_ok()
+        self.entries.binary_search_by_key(&key, |&(k, _)| k).is_ok()
     }
 
     /// Number of keys.
@@ -96,9 +94,10 @@ impl<K: Copy + Ord> Feature<K> {
     /// The key with the highest severity (ties broken by key order) — used
     /// to answer "which part is most serious".
     pub fn peak(&self) -> Option<(K, Severity)> {
-        self.entries.iter().copied().max_by_key(|&(k, s)| {
-            (s, std::cmp::Reverse(k))
-        })
+        self.entries
+            .iter()
+            .copied()
+            .max_by_key(|&(k, s)| (s, std::cmp::Reverse(k)))
     }
 
     /// Smallest and largest key, if non-empty.
@@ -232,10 +231,7 @@ mod tests {
         let cc = sf(&[(1, 103 * 60), (2, 75 * 60), (7, 54 * 60), (9, 60 * 60)]);
         let merged = ca.merge(&cc);
         assert_eq!(merged.len(), 6);
-        assert_eq!(
-            merged.get(SensorId::new(1)),
-            Severity::from_minutes(285.0)
-        );
+        assert_eq!(merged.get(SensorId::new(1)), Severity::from_minutes(285.0));
         assert_eq!(merged.get(SensorId::new(4)), Severity::from_minutes(12.0));
         assert_eq!(merged.get(SensorId::new(9)), Severity::from_minutes(60.0));
         assert_eq!(merged.total(), ca.total() + cc.total());
@@ -258,10 +254,7 @@ mod tests {
         let (k, s) = f.peak().unwrap();
         assert_eq!(s, Severity::from_secs(99));
         assert_eq!(k, SensorId::new(2), "ties break to the smaller key");
-        assert_eq!(
-            f.key_span().unwrap(),
-            (SensorId::new(1), SensorId::new(9))
-        );
+        assert_eq!(f.key_span().unwrap(), (SensorId::new(1), SensorId::new(9)));
         assert!(SpatialFeature::new().peak().is_none());
     }
 

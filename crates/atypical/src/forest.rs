@@ -250,7 +250,13 @@ mod tests {
         for day in 0..n_days {
             // Two micros per day: a recurring one at sensors 0.. and a
             // roaming one.
-            f.insert_day(day, vec![micro(u64::from(day) * 2, day, 0), micro(u64::from(day) * 2 + 1, day, 20 + day * 5)]);
+            f.insert_day(
+                day,
+                vec![
+                    micro(u64::from(day) * 2, day, 0),
+                    micro(u64::from(day) * 2 + 1, day, 20 + day * 5),
+                ],
+            );
         }
         f
     }
@@ -342,11 +348,7 @@ mod tests {
     #[test]
     fn hierarchical_integration_matches_flat_severity() {
         let mut f = forest_with_days(14);
-        let flat: Severity = f
-            .micros_in_days(0, 14)
-            .iter()
-            .map(|c| c.severity())
-            .sum();
+        let flat: Severity = f.micros_in_days(0, 14).iter().map(|c| c.severity()).sum();
         let hier: Severity = f.integrate_days(0, 14).iter().map(|c| c.severity()).sum();
         assert_eq!(flat, hier, "severity is conserved through the hierarchy");
     }

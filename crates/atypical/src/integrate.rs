@@ -132,10 +132,7 @@ pub fn integrate_aligned(
             None => result.push(candidate),
         }
     }
-    (
-        result.into_iter().map(|e| e.cluster).collect(),
-        stats,
-    )
+    (result.into_iter().map(|e| e.cluster).collect(), stats)
 }
 
 /// Checks the Algorithm-3 fixpoint condition: no pair in `clusters` exceeds
@@ -168,7 +165,11 @@ mod tests {
             .collect();
         // Balance totals through uniform weights: give TF the same total as
         // SF by scaling — simplest is to require equal counts in tests.
-        assert_eq!(sensors.len(), windows.len(), "test helper needs equal sizes");
+        assert_eq!(
+            sensors.len(),
+            windows.len(),
+            "test helper needs equal sizes"
+        );
         AtypicalCluster::new(ClusterId::new(id), sf, tf)
     }
 
@@ -293,9 +294,12 @@ mod tests {
             .collect();
         let p = params();
         let mut ids = ClusterIdGen::new(50);
-        let (absolute, _) =
-            integrate_aligned(daily.clone(), &p, TimeAlignment::Absolute, &mut ids);
-        assert_eq!(absolute.len(), 3, "absolute windows never align across days");
+        let (absolute, _) = integrate_aligned(daily.clone(), &p, TimeAlignment::Absolute, &mut ids);
+        assert_eq!(
+            absolute.len(),
+            3,
+            "absolute windows never align across days"
+        );
         let (folded, stats) = integrate_aligned(
             daily,
             &p,

@@ -84,8 +84,8 @@ pub mod query;
 pub mod redzone;
 pub mod report;
 pub mod significant;
-pub mod store;
 pub mod similarity;
+pub mod store;
 pub mod viz;
 
 pub use cluster::AtypicalCluster;

@@ -72,6 +72,49 @@ impl OpenEvent {
     }
 }
 
+/// A record rejected by [`OnlineExtractor::push`] because its window
+/// precedes the extractor clock.
+///
+/// Accepting such a record would corrupt the per-sensor frontier: sealing
+/// is driven by `current_window`, so an already-sealed event could have
+/// deserved the record, silently splitting one event into two. Callers
+/// that cannot guarantee ordering (e.g. multi-source feeds) should buffer
+/// and re-sort upstream, or drop the record and count it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrderRecord {
+    /// The rejected record.
+    pub record: AtypicalRecord,
+    /// The extractor clock the record fell behind.
+    pub current_window: TimeWindow,
+}
+
+impl std::fmt::Display for OutOfOrderRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "record for sensor {} at window {} regresses behind extractor window {}",
+            self.record.sensor, self.record.window, self.current_window
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrderRecord {}
+
+/// A sealed event with its member records intact, emitted instead of a
+/// micro-cluster when [`OnlineExtractor::retain_raw_events`] is on.
+///
+/// The trust filter (`min_event_records`) is **not** applied: raw mode
+/// exists for consumers that recombine partial events — e.g. a sharded
+/// monitor reconciling events that straddle a shard boundary — where the
+/// filter must run on the recombined whole, not the parts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SealedRawEvent {
+    /// Member records, sorted by `(window, sensor)`.
+    pub records: Vec<AtypicalRecord>,
+    /// Largest member window (the sealing deadline driver).
+    pub last_window: TimeWindow,
+}
+
 /// Streaming extractor: push records in window order, take sealed
 /// micro-clusters out as they finish.
 pub struct OnlineExtractor<'a> {
@@ -80,6 +123,8 @@ pub struct OnlineExtractor<'a> {
     max_gap: u32,
     open: Vec<OpenEvent>,
     sealed: Vec<AtypicalCluster>,
+    sealed_raw: Vec<SealedRawEvent>,
+    raw_mode: bool,
     ids: ClusterIdGen,
     current_window: TimeWindow,
     /// δd neighbourhoods, resolved lazily per sensor.
@@ -95,6 +140,8 @@ impl<'a> OnlineExtractor<'a> {
             max_gap: max_gap_windows(&params, spec),
             open: Vec::new(),
             sealed: Vec::new(),
+            sealed_raw: Vec::new(),
+            raw_mode: false,
             ids: ClusterIdGen::new(1),
             current_window: TimeWindow::new(0),
             neighborhoods: FxHashMap::default(),
@@ -114,13 +161,16 @@ impl<'a> OnlineExtractor<'a> {
     /// Feeds one record. Records must arrive in non-decreasing window
     /// order.
     ///
-    /// # Panics
-    /// Panics if `record.window` precedes a previously pushed window.
-    pub fn push(&mut self, record: AtypicalRecord) {
-        assert!(
-            record.window >= self.current_window,
-            "records must be pushed in window order"
-        );
+    /// # Errors
+    /// Returns [`OutOfOrderRecord`] (and leaves all state untouched) if
+    /// `record.window` precedes a previously pushed window.
+    pub fn push(&mut self, record: AtypicalRecord) -> Result<(), OutOfOrderRecord> {
+        if record.window < self.current_window {
+            return Err(OutOfOrderRecord {
+                record,
+                current_window: self.current_window,
+            });
+        }
         self.advance_to(record.window);
 
         // Find every open event this record relates to: it must contain a
@@ -150,6 +200,7 @@ impl<'a> OnlineExtractor<'a> {
                 self.open[*first].push(record);
             }
         }
+        Ok(())
     }
 
     /// Advances the clock, sealing events that can no longer grow.
@@ -170,13 +221,44 @@ impl<'a> OnlineExtractor<'a> {
         }
     }
 
+    /// Switches between micro-cluster sealing (default) and raw-event
+    /// sealing (see [`SealedRawEvent`]). Affects only events sealed after
+    /// the call.
+    pub fn retain_raw_events(&mut self, on: bool) {
+        self.raw_mode = on;
+    }
+
+    /// The extractor clock: the largest window pushed or advanced to.
+    pub fn current_window(&self) -> TimeWindow {
+        self.current_window
+    }
+
+    /// Smallest window among open-event records whose sensor satisfies
+    /// `pred` — `None` when no open record matches. A sharded monitor uses
+    /// this as a holdback watermark: no event sealed in the future can
+    /// contain a `pred`-matching record older than this.
+    pub fn open_min_window_where(&self, pred: impl Fn(SensorId) -> bool) -> Option<TimeWindow> {
+        self.open
+            .iter()
+            .flat_map(|e| e.records.iter())
+            .filter(|r| pred(r.sensor))
+            .map(|r| r.window)
+            .min()
+    }
+
     fn seal(&mut self, mut event: OpenEvent) {
+        if self.raw_mode {
+            event.records.sort_unstable_by_key(|r| (r.window, r.sensor));
+            self.sealed_raw.push(SealedRawEvent {
+                last_window: event.last_window,
+                records: event.records,
+            });
+            return;
+        }
         if (event.records.len() as u32) < self.params.min_event_records {
             return; // trustworthiness filter, as in the batch pipeline
         }
-        event
-            .records
-            .sort_unstable_by_key(|r| (r.window, r.sensor));
+        event.records.sort_unstable_by_key(|r| (r.window, r.sensor));
         let event = AtypicalEvent::new(event.records);
         self.sealed
             .push(AtypicalCluster::from_event(self.ids.next_id(), &event));
@@ -185,6 +267,11 @@ impl<'a> OnlineExtractor<'a> {
     /// Takes the micro-clusters sealed so far.
     pub fn drain_sealed(&mut self) -> Vec<AtypicalCluster> {
         std::mem::take(&mut self.sealed)
+    }
+
+    /// Takes the raw events sealed so far (raw mode only).
+    pub fn drain_sealed_raw(&mut self) -> Vec<SealedRawEvent> {
+        std::mem::take(&mut self.sealed_raw)
     }
 
     /// Number of events still open.
@@ -200,6 +287,15 @@ impl<'a> OnlineExtractor<'a> {
             self.seal(event);
         }
         self.sealed
+    }
+
+    /// Seals everything and returns all remaining raw events (raw mode).
+    pub fn finish_raw(mut self) -> Vec<SealedRawEvent> {
+        let open = std::mem::take(&mut self.open);
+        for event in open {
+            self.seal(event);
+        }
+        self.sealed_raw
     }
 }
 
@@ -224,16 +320,11 @@ mod tests {
 
         let mut online = OnlineExtractor::new(sim.network(), params, spec);
         for r in &records {
-            online.push(*r);
+            online.push(*r).unwrap();
         }
         let mut streamed = online.finish();
 
-        let batch = build_forest_from_records(
-            vec![(0, records)],
-            sim.network(),
-            &params,
-            spec,
-        );
+        let batch = build_forest_from_records(vec![(0, records)], sim.network(), &params, spec);
         let mut batched = batch.forest.day(0).to_vec();
 
         streamed.sort_by_key(sorted_key);
@@ -252,10 +343,14 @@ mod tests {
         let spec = net.config().spec;
         let mut online = OnlineExtractor::new(net.network(), params, spec);
         let rec = |s: u32, w: u32| {
-            AtypicalRecord::new(SensorId::new(s), TimeWindow::new(w), Severity::from_secs(120))
+            AtypicalRecord::new(
+                SensorId::new(s),
+                TimeWindow::new(w),
+                Severity::from_secs(120),
+            )
         };
-        online.push(rec(0, 100));
-        online.push(rec(1, 101));
+        online.push(rec(0, 100)).unwrap();
+        online.push(rec(1, 101)).unwrap();
         assert_eq!(online.open_events(), 1);
         assert!(online.drain_sealed().is_empty());
         // Advance past δt: the event can no longer grow and seals.
@@ -273,14 +368,18 @@ mod tests {
         let spec = sim.config().spec;
         let mut online = OnlineExtractor::new(sim.network(), params, spec);
         let rec = |s: u32, w: u32| {
-            AtypicalRecord::new(SensorId::new(s), TimeWindow::new(w), Severity::from_secs(120))
+            AtypicalRecord::new(
+                SensorId::new(s),
+                TimeWindow::new(w),
+                Severity::from_secs(120),
+            )
         };
         // Two separate events (sensors 0 and 4 are ~2 miles apart on the
         // same highway — beyond δd), then sensor 2 bridges them.
-        online.push(rec(0, 100));
-        online.push(rec(4, 100));
+        online.push(rec(0, 100)).unwrap();
+        online.push(rec(4, 100)).unwrap();
         assert_eq!(online.open_events(), 2);
-        online.push(rec(2, 101));
+        online.push(rec(2, 101)).unwrap();
         assert_eq!(online.open_events(), 1);
         let all = online.finish();
         assert_eq!(all.len(), 1);
@@ -293,25 +392,39 @@ mod tests {
         let params = Params::paper_defaults(); // min_event_records = 2
         let spec = sim.config().spec;
         let mut online = OnlineExtractor::new(sim.network(), params, spec);
-        online.push(AtypicalRecord::new(
-            SensorId::new(0),
-            TimeWindow::new(100),
-            Severity::from_secs(60),
-        ));
+        online
+            .push(AtypicalRecord::new(
+                SensorId::new(0),
+                TimeWindow::new(100),
+                Severity::from_secs(60),
+            ))
+            .unwrap();
         let out = online.finish();
         assert!(out.is_empty(), "singleton must be dropped");
     }
 
     #[test]
-    #[should_panic(expected = "window order")]
-    fn out_of_order_push_panics() {
+    fn out_of_order_push_is_rejected_without_state_damage() {
         let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 1));
         let params = Params::paper_defaults();
         let mut online = OnlineExtractor::new(sim.network(), params, sim.config().spec);
         let rec = |w: u32| {
-            AtypicalRecord::new(SensorId::new(0), TimeWindow::new(w), Severity::from_secs(60))
+            AtypicalRecord::new(
+                SensorId::new(0),
+                TimeWindow::new(w),
+                Severity::from_secs(60),
+            )
         };
-        online.push(rec(100));
-        online.push(rec(99));
+        online.push(rec(100)).unwrap();
+        let err = online.push(rec(99)).unwrap_err();
+        assert_eq!(err.record.window, TimeWindow::new(99));
+        assert_eq!(err.current_window, TimeWindow::new(100));
+        assert!(err.to_string().contains("regresses"));
+        // The rejected record left the open event untouched.
+        assert_eq!(online.open_events(), 1);
+        online.push(rec(101)).unwrap();
+        let out = online.finish();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window_count(), 2, "windows 100 and 101 only");
     }
 }

@@ -195,8 +195,7 @@ pub fn build_forest_from_store(
             buffer.push(record);
         }
         if !buffer.is_empty() {
-            let clusters =
-                day_micro_clusters(&buffer, network, params, spec, &mut ids, &mut stats);
+            let clusters = day_micro_clusters(&buffer, network, params, spec, &mut ids, &mut stats);
             forest.insert_day(current_day, clusters);
         }
     }
@@ -221,8 +220,7 @@ mod tests {
         let sim = sim();
         let params = Params::paper_defaults();
         let days = (0..3).map(|d| (d, sim.atypical_day(d)));
-        let built =
-            build_forest_from_records(days, sim.network(), &params, sim.config().spec);
+        let built = build_forest_from_records(days, sim.network(), &params, sim.config().spec);
         assert_eq!(built.forest.days().count(), 3);
         assert!(built.stats.n_micro_clusters > 0);
         assert_eq!(built.stats.n_events, built.stats.n_micro_clusters);
@@ -246,19 +244,13 @@ mod tests {
             &params,
             sim.config().spec,
         );
-        let got: cps_core::Severity = built
-            .forest
-            .day(0)
-            .iter()
-            .map(|c| c.severity())
-            .sum();
+        let got: cps_core::Severity = built.forest.day(0).iter().map(|c| c.severity()).sum();
         assert_eq!(want, got);
     }
 
     #[test]
     fn store_and_memory_paths_agree() {
-        let root =
-            std::env::temp_dir().join(format!("atypical-pipeline-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("atypical-pipeline-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let config = SimConfig::new(Scale::Tiny, 21)
             .with_datasets(1)
@@ -302,8 +294,7 @@ mod tests {
         let spec = sim.config().spec;
         let days: Vec<(u32, Vec<cps_core::AtypicalRecord>)> =
             (0..6).map(|d| (d, sim.atypical_day(d))).collect();
-        let sequential =
-            build_forest_from_records(days.clone(), sim.network(), &params, spec);
+        let sequential = build_forest_from_records(days.clone(), sim.network(), &params, spec);
         for threads in [1usize, 2, 4] {
             let parallel = build_forest_from_records_parallel(
                 days.clone(),

@@ -143,10 +143,10 @@ pub fn holdout_hit_rate(
 mod tests {
     use super::*;
     use crate::cluster::AtypicalCluster;
-    use crate::pipeline::build_forest_from_records;
-    use cps_sim::{Scale, SimConfig, TrafficSim};
     use crate::feature::{SpatialFeature, TemporalFeature};
+    use crate::pipeline::build_forest_from_records;
     use cps_core::{ClusterId, Params, TimeWindow, WindowSpec};
+    use cps_sim::{Scale, SimConfig, TrafficSim};
 
     /// A micro-cluster at sensor `s`, hour `h` of `day`, 30 minutes.
     fn micro(id: u64, day: u32, s: u32, h: u32) -> AtypicalCluster {

@@ -191,8 +191,7 @@ impl<'a> QueryEngine<'a> {
                 // Beforehand pruning: only micro-clusters significant at
                 // their own (day) scale survive.
                 let day_range = spec.day_range(query.first_day, 1);
-                let day_threshold =
-                    significance_threshold(&self.params, day_range, n_sensors);
+                let day_threshold = significance_threshold(&self.params, day_range, n_sensors);
                 candidates
                     .into_iter()
                     .filter(|c| c.severity() > day_threshold)
@@ -281,10 +280,20 @@ mod tests {
         let spec = WindowSpec::PEMS;
         let w0 = day * spec.windows_per_day() + 96;
         let sf: SpatialFeature = (base..base + n_sensors)
-            .map(|s| (cps_core::SensorId::new(s), Severity::from_minutes(per_sensor_minutes)))
+            .map(|s| {
+                (
+                    cps_core::SensorId::new(s),
+                    Severity::from_minutes(per_sensor_minutes),
+                )
+            })
             .collect();
         let tf: TemporalFeature = (0..n_sensors)
-            .map(|k| (TimeWindow::new(w0 + k), Severity::from_minutes(per_sensor_minutes)))
+            .map(|k| {
+                (
+                    TimeWindow::new(w0 + k),
+                    Severity::from_minutes(per_sensor_minutes),
+                )
+            })
             .collect();
         AtypicalCluster::new(ClusterId::new(id), sf, tf)
     }
@@ -354,7 +363,10 @@ mod tests {
         // significant Gui-cluster.
         let truth = all.significant();
         let found = gui.significant();
-        assert!(!truth.is_empty(), "fixture must produce significant clusters");
+        assert!(
+            !truth.is_empty(),
+            "fixture must produce significant clusters"
+        );
         for t in &truth {
             let matched = found.iter().any(|g| {
                 crate::similarity::similarity(g, t, cps_core::BalanceFunction::Max) >= 0.5

@@ -55,9 +55,10 @@ impl RedZones {
             .iter()
             .enumerate()
             .map(|(i, &f)| {
-                let n_i = partition.sensors_in(cps_core::RegionId::new(i as u32)).len() as u32;
-                n_i > 0
-                    && f >= crate::significant::significance_threshold(params, range, n_i)
+                let n_i = partition
+                    .sensors_in(cps_core::RegionId::new(i as u32))
+                    .len() as u32;
+                n_i > 0 && f >= crate::significant::significance_threshold(params, range, n_i)
             })
             .collect();
         Self {
@@ -145,8 +146,14 @@ mod tests {
         let params = Params::paper_defaults();
         let range = WindowSpec::PEMS.day_range(0, 1);
         let zones = RedZones::compute(&micros, &part, &params, range, 10);
-        assert_eq!(zones.f_value(RegionId::new(0)), Severity::from_minutes(175.0));
-        assert_eq!(zones.f_value(RegionId::new(1)), Severity::from_minutes(75.0));
+        assert_eq!(
+            zones.f_value(RegionId::new(0)),
+            Severity::from_minutes(175.0)
+        );
+        assert_eq!(
+            zones.f_value(RegionId::new(1)),
+            Severity::from_minutes(75.0)
+        );
     }
 
     #[test]
@@ -171,7 +178,7 @@ mod tests {
     fn intersecting_clusters_survive_filtering() {
         let part = two_region_partition();
         let micros = vec![
-            cluster(1, &[(0, 200.0)]),          // inside red zone
+            cluster(1, &[(0, 200.0)]),           // inside red zone
             cluster(2, &[(4, 10.0), (5, 10.0)]), // straddles red/non-red: keep
             cluster(3, &[(6, 10.0)]),            // entirely outside: prune
         ];

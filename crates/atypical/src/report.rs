@@ -159,8 +159,8 @@ mod tests {
         .into_iter()
         .collect();
         let tf: TemporalFeature = [
-            (TimeWindow::new(97), Severity::from_minutes(50.0)),   // day 0, 08:05
-            (TimeWindow::new(98), Severity::from_minutes(250.0)),  // day 0, 08:10
+            (TimeWindow::new(97), Severity::from_minutes(50.0)), // day 0, 08:05
+            (TimeWindow::new(98), Severity::from_minutes(250.0)), // day 0, 08:10
             (TimeWindow::new(385), Severity::from_minutes(150.0)), // day 1
         ]
         .into_iter()

@@ -40,9 +40,7 @@ pub fn partition_significant(
     n_sensors: u32,
 ) -> (Vec<AtypicalCluster>, Vec<AtypicalCluster>) {
     let threshold = significance_threshold(params, range, n_sensors);
-    clusters
-        .into_iter()
-        .partition(|c| c.severity() > threshold)
+    clusters.into_iter().partition(|c| c.severity() > threshold)
 }
 
 #[cfg(test)]

@@ -41,7 +41,10 @@ pub fn similarity(a: &AtypicalCluster, b: &AtypicalCluster, g: BalanceFunction) 
 /// jams near downtown in the evening rush hours") while keeping the
 /// morning/evening pair of Example 5 apart. Within a single day folding is
 /// the identity, so micro-cluster comparisons are unaffected.
-pub fn fold_tf(tf: &crate::feature::TemporalFeature, windows_per_day: u32) -> crate::feature::TemporalFeature {
+pub fn fold_tf(
+    tf: &crate::feature::TemporalFeature,
+    windows_per_day: u32,
+) -> crate::feature::TemporalFeature {
     tf.iter()
         .map(|(w, s)| (cps_core::TimeWindow::new(w.raw() % windows_per_day), s))
         .collect()
@@ -140,7 +143,10 @@ mod tests {
             sim_ac > sim_ab,
             "morning pair must beat morning/evening pair: {sim_ac} vs {sim_ab}"
         );
-        assert!(sim_ac > 0.5, "CA/CC should clear the default δsim: {sim_ac}");
+        assert!(
+            sim_ac > 0.5,
+            "CA/CC should clear the default δsim: {sim_ac}"
+        );
     }
 
     #[test]
@@ -191,7 +197,10 @@ mod tests {
         assert_eq!(temporal_similarity(&day0, &day1, g), 0.0);
         assert!(similarity(&day0, &day1, g) <= 0.5);
         let folded = similarity_folded(&day0, &day1, g, wpd);
-        assert!(folded > 0.95, "recurring events align when folded: {folded}");
+        assert!(
+            folded > 0.95,
+            "recurring events align when folded: {folded}"
+        );
     }
 
     #[test]
@@ -224,7 +233,10 @@ mod tests {
         .collect();
         let folded = fold_tf(&tf, 288);
         assert_eq!(folded.len(), 1);
-        assert_eq!(folded.get(TimeWindow::new(100)), Severity::from_minutes(30.0));
+        assert_eq!(
+            folded.get(TimeWindow::new(100)),
+            Severity::from_minutes(30.0)
+        );
         assert_eq!(folded.total(), tf.total());
     }
 

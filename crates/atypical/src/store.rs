@@ -46,7 +46,10 @@ fn encode_cluster(c: &AtypicalCluster, buf: &mut Vec<u8>) {
 /// Decodes one cluster, advancing `buf`.
 fn decode_cluster(buf: &mut &[u8]) -> Result<AtypicalCluster> {
     if buf.remaining() < 20 {
-        return Err(CpsError::corrupt("cluster file", "truncated cluster header"));
+        return Err(CpsError::corrupt(
+            "cluster file",
+            "truncated cluster header",
+        ));
     }
     let id = ClusterId::new(buf.get_u64_le());
     let merged_count = buf.get_u32_le();
@@ -183,8 +186,19 @@ impl ForestStore {
             .join(format!("{}-{bucket:05}.acf", level.prefix()))
     }
 
+    /// Filesystem path of one bucket, for observability (e.g. reporting
+    /// snapshot sizes); the file may not exist yet.
+    pub fn bucket_path(&self, level: ForestLevel, bucket: u32) -> PathBuf {
+        self.path(level, bucket)
+    }
+
     /// Persists one bucket of a level.
-    pub fn save(&self, level: ForestLevel, bucket: u32, clusters: &[AtypicalCluster]) -> Result<()> {
+    pub fn save(
+        &self,
+        level: ForestLevel,
+        bucket: u32,
+        clusters: &[AtypicalCluster],
+    ) -> Result<()> {
         write_clusters(&self.path(level, bucket), clusters)
     }
 
@@ -272,7 +286,8 @@ mod tests {
     #[test]
     fn roundtrip_preserves_clusters_exactly() {
         let dir = tmp("roundtrip");
-        let clusters: Vec<AtypicalCluster> = (0..20).map(|i| cluster(i, (i as u32) * 3, 5)).collect();
+        let clusters: Vec<AtypicalCluster> =
+            (0..20).map(|i| cluster(i, (i as u32) * 3, 5)).collect();
         let path = dir.join("x.acf");
         write_clusters(&path, &clusters).unwrap();
         let back = read_clusters(&path).unwrap();
@@ -304,6 +319,31 @@ mod tests {
     }
 
     #[test]
+    fn truncation_at_every_byte_boundary_is_a_corrupt_error() {
+        let dir = tmp("truncate");
+        let path = dir.join("x.acf");
+        let clusters: Vec<AtypicalCluster> =
+            (0..3).map(|i| cluster(i, (i as u32) * 4, 4)).collect();
+        write_clusters(&path, &clusters).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        assert!(full.len() > 12, "payload must be non-trivial");
+        for len in 0..full.len() {
+            std::fs::write(&path, &full[..len]).unwrap();
+            // Must be a structured Corrupt error — never a panic and never
+            // a silent partial read.
+            match read_clusters(&path) {
+                Err(CpsError::Corrupt { .. }) => {}
+                Err(other) => panic!("truncation at byte {len}: wrong error kind {other:?}"),
+                Ok(read) => panic!(
+                    "truncation at byte {len} silently read {} cluster(s)",
+                    read.len()
+                ),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn garbage_header_is_rejected() {
         let dir = tmp("garbage");
         std::fs::create_dir_all(&dir).unwrap();
@@ -317,14 +357,23 @@ mod tests {
     fn forest_store_levels_and_buckets() {
         let dir = tmp("levels");
         let store = ForestStore::open(&dir).unwrap();
-        store.save(ForestLevel::Day, 3, &[cluster(1, 0, 3)]).unwrap();
-        store.save(ForestLevel::Day, 10, &[cluster(2, 5, 3)]).unwrap();
-        store.save(ForestLevel::Week, 0, &[cluster(3, 0, 6)]).unwrap();
+        store
+            .save(ForestLevel::Day, 3, &[cluster(1, 0, 3)])
+            .unwrap();
+        store
+            .save(ForestLevel::Day, 10, &[cluster(2, 5, 3)])
+            .unwrap();
+        store
+            .save(ForestLevel::Week, 0, &[cluster(3, 0, 6)])
+            .unwrap();
         assert!(store.contains(ForestLevel::Day, 3));
         assert!(!store.contains(ForestLevel::Day, 4));
         assert_eq!(store.buckets(ForestLevel::Day).unwrap(), vec![3, 10]);
         assert_eq!(store.buckets(ForestLevel::Week).unwrap(), vec![0]);
-        assert_eq!(store.buckets(ForestLevel::Month).unwrap(), Vec::<u32>::new());
+        assert_eq!(
+            store.buckets(ForestLevel::Month).unwrap(),
+            Vec::<u32>::new()
+        );
         let loaded = store.load(ForestLevel::Week, 0).unwrap().unwrap();
         assert_eq!(loaded[0].id, ClusterId::new(3));
         assert!(store.load(ForestLevel::Month, 0).unwrap().is_none());

@@ -119,8 +119,7 @@ mod tests {
             .iter()
             .map(|&(s, m)| (SensorId::new(s), Severity::from_minutes(m)))
             .collect();
-        let tf: TemporalFeature =
-            std::iter::once((TimeWindow::new(0), sf.total())).collect();
+        let tf: TemporalFeature = std::iter::once((TimeWindow::new(0), sf.total())).collect();
         AtypicalCluster::new(ClusterId::new(1), sf, tf)
     }
 

@@ -12,7 +12,13 @@ use std::hint::black_box;
 
 fn bench_codec(c: &mut Criterion) {
     let records: Vec<AtypicalRecord> = (0..4096u32)
-        .map(|i| AtypicalRecord::new(SensorId::new(i), TimeWindow::new(i * 3), Severity::from_secs(120)))
+        .map(|i| {
+            AtypicalRecord::new(
+                SensorId::new(i),
+                TimeWindow::new(i * 3),
+                Severity::from_secs(120),
+            )
+        })
         .collect();
     let mut group = c.benchmark_group("storage_codec");
     group.throughput(Throughput::Elements(records.len() as u64));

@@ -23,23 +23,40 @@ fn bench_similarity(c: &mut Criterion) {
     for n in [16u32, 128, 1024] {
         let a = make_cluster(1, 0, n);
         let b = make_cluster(2, n / 2, n);
-        group.bench_with_input(BenchmarkId::new("avg", n), &(a.clone(), b.clone()), |bench, (a, b)| {
-            bench.iter(|| black_box(similarity(a, b, BalanceFunction::ArithmeticMean)))
-        });
-        group.bench_with_input(BenchmarkId::new("max", n), &(a.clone(), b.clone()), |bench, (a, b)| {
-            bench.iter(|| black_box(similarity(a, b, BalanceFunction::Max)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("avg", n),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| {
+                bench.iter(|| black_box(similarity(a, b, BalanceFunction::ArithmeticMean)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("max", n),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| bench.iter(|| black_box(similarity(a, b, BalanceFunction::Max))),
+        );
         group.bench_with_input(
             BenchmarkId::new("folded", n),
             &(a.clone(), b.clone()),
             |bench, (a, b)| {
-                bench.iter(|| black_box(similarity_folded(a, b, BalanceFunction::ArithmeticMean, 288)))
+                bench.iter(|| {
+                    black_box(similarity_folded(
+                        a,
+                        b,
+                        BalanceFunction::ArithmeticMean,
+                        288,
+                    ))
+                })
             },
         );
         let big = make_cluster(3, 0, n);
-        group.bench_with_input(BenchmarkId::new("merge", n), &(a, big), |bench, (a, big)| {
-            bench.iter(|| black_box(a.merge(big, ClusterId::new(9)).sensor_count()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("merge", n),
+            &(a, big),
+            |bench, (a, big)| {
+                bench.iter(|| black_box(a.merge(big, ClusterId::new(9)).sensor_count()))
+            },
+        );
     }
     group.finish();
 }

@@ -20,10 +20,8 @@ const DAYS: u32 = 30;
 /// Runs the sweep: integration only — the micro-clusters are built once.
 pub fn run(wb: &Workbench, base: &Params) -> Result<Vec<Table>> {
     let built = wb.build_forest_for_days(DAYS, base)?;
-    let micros: Vec<(u32, Vec<atypical::AtypicalCluster>)> = built
-        .days()
-        .map(|d| (d, built.day(d).to_vec()))
-        .collect();
+    let micros: Vec<(u32, Vec<atypical::AtypicalCluster>)> =
+        built.days().map(|d| (d, built.day(d).to_vec())).collect();
     let spec = built.spec();
     let n_sensors = wb.network().num_sensors() as u32;
     let range = spec.day_range(0, DAYS);

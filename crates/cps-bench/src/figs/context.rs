@@ -19,18 +19,15 @@ pub fn run(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
     let built = wb.build_forest_for_days(DAYS, params)?;
     let spec = built.spec();
     let context = ContextLog::load(wb.store.root(), DatasetId::new(1))?;
-    let labels = DayLabels::from_pairs(
-        context
-            .weather
-            .iter()
-            .map(|w| (w.day, w.weather.label())),
-    );
+    let labels = DayLabels::from_pairs(context.weather.iter().map(|w| (w.day, w.weather.label())));
 
     // Weather table: days and total micro-cluster severity per condition.
     let mut per_label: std::collections::BTreeMap<&str, (u32, Severity)> = Default::default();
     for w in &context.weather {
         let total: Severity = built.day(w.day).iter().map(|c| c.severity()).sum();
-        let slot = per_label.entry(w.weather.label()).or_insert((0, Severity::ZERO));
+        let slot = per_label
+            .entry(w.weather.label())
+            .or_insert((0, Severity::ZERO));
         slot.0 += 1;
         slot.1 += total;
     }
@@ -60,7 +57,11 @@ pub fn run(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
     let micros = built.micros_in_days(0, DAYS);
     let linked_any = accidents
         .iter()
-        .filter(|e| micros.iter().any(|c| !linked_events(c, std::slice::from_ref(e), 3).is_empty()))
+        .filter(|e| {
+            micros
+                .iter()
+                .any(|c| !linked_events(c, std::slice::from_ref(e), 3).is_empty())
+        })
         .count();
     let mut forest = built;
     let monthly = forest.integrate_days(0, DAYS);
@@ -76,7 +77,10 @@ pub fn run(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
     joins.row(vec!["accident reports".into(), accidents.len().to_string()]);
     joins.row(vec![
         "accidents linked to some cluster".into(),
-        format!("{linked_any} ({:.0}%)", 100.0 * linked_any as f64 / accidents.len().max(1) as f64),
+        format!(
+            "{linked_any} ({:.0}%)",
+            100.0 * linked_any as f64 / accidents.len().max(1) as f64
+        ),
     ]);
     for c in monthly.iter().filter(|c| c.severity() > threshold) {
         let dominant = labels.dominant(c, spec).unwrap_or("n/a");

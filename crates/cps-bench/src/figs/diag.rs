@@ -28,22 +28,13 @@ pub fn run(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
         }
     };
 
-    let zones = RedZones::compute(
-        &micros,
-        wb.partition(),
-        params,
-        spec.day_range(0, days),
-        n,
-    );
+    let zones = RedZones::compute(&micros, wb.partition(), params, spec.day_range(0, days), n);
     let (kept, pruned) = zones.filter(micros.clone(), wb.partition());
 
     let macros = forest.integrate_days(0, days);
     let mut msev: Vec<f64> = macros.iter().map(|c| c.severity().as_minutes()).collect();
     msev.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let sig = macros
-        .iter()
-        .filter(|c| c.severity() > q_threshold)
-        .count();
+    let sig = macros.iter().filter(|c| c.severity() > q_threshold).count();
     let day_sig = micros
         .iter()
         .filter(|c| c.severity() > day_threshold)
@@ -57,10 +48,19 @@ pub fn run(wb: &Workbench, params: &Params) -> Result<Vec<Table>> {
     t.row(vec!["micro clusters".into(), micros.len().to_string()]);
     t.row(vec![
         "micro severity p50/p90/p99/max (min)".into(),
-        format!("{:.0}/{:.0}/{:.0}/{:.0}", pick(0.5), pick(0.9), pick(0.99), pick(1.0)),
+        format!(
+            "{:.0}/{:.0}/{:.0}/{:.0}",
+            pick(0.5),
+            pick(0.9),
+            pick(0.99),
+            pick(1.0)
+        ),
     ]);
     t.row(vec!["day threshold".into(), fm(day_threshold)]);
-    t.row(vec!["day-significant micros (Pru keeps)".into(), day_sig.to_string()]);
+    t.row(vec![
+        "day-significant micros (Pru keeps)".into(),
+        day_sig.to_string(),
+    ]);
     t.row(vec![format!("{days}-day threshold"), fm(q_threshold)]);
     t.row(vec!["macro clusters".into(), macros.len().to_string()]);
     t.row(vec![

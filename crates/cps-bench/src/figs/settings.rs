@@ -24,10 +24,8 @@ pub fn run(wb: &Workbench) -> Vec<Table> {
         wb.store.catalog().total_days().to_string(),
         wb.network().num_sensors().to_string(),
         wb.store.catalog().total_raw_records().to_string(),
-        pct(
-            wb.store.catalog().total_atypical_records() as f64
-                / wb.store.catalog().total_raw_records().max(1) as f64,
-        ),
+        pct(wb.store.catalog().total_atypical_records() as f64
+            / wb.store.catalog().total_raw_records().max(1) as f64),
     ]);
 
     let p = Params::paper_defaults();
@@ -46,7 +44,11 @@ pub fn run(wb: &Workbench) -> Vec<Table> {
         "15 – 80 min".into(),
         format!("{} min", p.delta_t_minutes),
     ]);
-    params.row(vec!["δsim".into(), "0.1 – 1".into(), p.delta_sim.to_string()]);
+    params.row(vec![
+        "δsim".into(),
+        "0.1 – 1".into(),
+        p.delta_sim.to_string(),
+    ]);
     params.row(vec![
         "g".into(),
         "max/min/avg/geo/har".into(),

@@ -54,8 +54,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--scale" => {
                 let v = grab("--scale")?;
-                args.scale =
-                    Scale::parse(&v).ok_or_else(|| format!("unknown scale '{v}'"))?;
+                args.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale '{v}'"))?;
             }
             "--seed" => args.seed = grab("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--datasets" => {
@@ -138,7 +137,11 @@ fn main() -> ExitCode {
             "predict" => emit(figs::prediction::run(&wb, &params)?, &out_dir, "predict"),
             "context" => emit(figs::context::run(&wb, &params)?, &out_dir, "context"),
             "ablate" => {
-                emit(figs::ablation::run_redzone(&wb, &params)?, &out_dir, "ablate-redzone");
+                emit(
+                    figs::ablation::run_redzone(&wb, &params)?,
+                    &out_dir,
+                    "ablate-redzone",
+                );
                 emit(
                     figs::ablation::run_retrieval(&wb, &params)?,
                     &out_dir,
@@ -155,8 +158,8 @@ fn main() -> ExitCode {
 
     let result = if args.command == "all" {
         [
-            "settings", "fig15", "fig17", "fig18", "fig19", "fig20", "fig21", "ablate",
-            "predict", "context",
+            "settings", "fig15", "fig17", "fig18", "fig19", "fig20", "fig21", "ablate", "predict",
+            "context",
         ]
         .iter()
         .try_for_each(|c| run(c))

@@ -75,7 +75,10 @@ impl Table {
     pub fn save_json(&self, dir: &Path, slug: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{slug}.json"));
-        std::fs::write(path, serde_json::to_string_pretty(self).expect("table serializes"))
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(self).expect("table serializes"),
+        )
     }
 }
 

@@ -133,7 +133,9 @@ impl Workbench {
     /// Builds a forest covering at least `n_days` days (rounded up to whole
     /// datasets).
     pub fn build_forest_for_days(&self, n_days: u32, params: &Params) -> Result<AtypicalForest> {
-        let k = n_days.div_ceil(self.config.days_per_dataset).min(self.config.n_datasets);
+        let k = n_days
+            .div_ceil(self.config.days_per_dataset)
+            .min(self.config.n_datasets);
         Ok(self.build_forest(k, params)?.forest)
     }
 

@@ -51,7 +51,10 @@ impl fmt::Display for CpsError {
             CpsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CpsError::NotFound(what) => write!(f, "not found: {what}"),
             CpsError::VersionMismatch { found, expected } => {
-                write!(f, "format version mismatch: found v{found}, expected v{expected}")
+                write!(
+                    f,
+                    "format version mismatch: found v{found}, expected v{expected}"
+                )
             }
         }
     }

@@ -203,10 +203,19 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_ranges() {
-        assert!(Params::paper_defaults().with_delta_d(0.0).validate().is_err());
+        assert!(Params::paper_defaults()
+            .with_delta_d(0.0)
+            .validate()
+            .is_err());
         assert!(Params::paper_defaults().with_delta_t(0).validate().is_err());
-        assert!(Params::paper_defaults().with_delta_s(1.5).validate().is_err());
-        assert!(Params::paper_defaults().with_delta_sim(-0.1).validate().is_err());
+        assert!(Params::paper_defaults()
+            .with_delta_s(1.5)
+            .validate()
+            .is_err());
+        assert!(Params::paper_defaults()
+            .with_delta_sim(-0.1)
+            .validate()
+            .is_err());
     }
 
     #[test]

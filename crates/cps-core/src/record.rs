@@ -7,8 +7,8 @@
 //! criterion** to each raw record and keeps the violating ones as
 //! [`AtypicalRecord`]s `(s, t, f(s,t))`.
 
-use crate::{Severity, TimeWindow, WindowSpec};
 use crate::ids::SensorId;
+use crate::{Severity, TimeWindow, WindowSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -127,10 +127,7 @@ impl fmt::Display for AtypicalRecord {
 
 /// Applies `criterion` to a stream of raw records, yielding the atypical
 /// ones — the *PR* (pre-processing) stage of the paper's evaluation.
-pub fn preprocess<'a, C, I>(
-    criterion: &'a C,
-    raw: I,
-) -> impl Iterator<Item = AtypicalRecord> + 'a
+pub fn preprocess<'a, C, I>(criterion: &'a C, raw: I) -> impl Iterator<Item = AtypicalRecord> + 'a
 where
     C: AtypicalCriterion,
     I: IntoIterator<Item = RawRecord>,

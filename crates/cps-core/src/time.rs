@@ -333,7 +333,10 @@ mod tests {
         let c = TimeRange::new(TimeWindow(20), TimeWindow(25));
         assert!(a.overlaps(b));
         assert!(!a.overlaps(c));
-        assert_eq!(a.intersect(b), TimeRange::new(TimeWindow(5), TimeWindow(10)));
+        assert_eq!(
+            a.intersect(b),
+            TimeRange::new(TimeWindow(5), TimeWindow(10))
+        );
         assert!(a.intersect(c).is_empty());
         assert_eq!(a.cover(c), TimeRange::new(TimeWindow(0), TimeWindow(25)));
         assert_eq!(a.cover(TimeRange::EMPTY), a);

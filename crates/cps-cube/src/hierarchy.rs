@@ -106,7 +106,11 @@ mod tests {
         for widx in [0u32, 287, 288, 5000, 9000, 70000] {
             let w = TimeWindow::new(widx);
             let hour = TemporalLevel::Hour.bucket_of(w, spec);
-            for level in [TemporalLevel::Day, TemporalLevel::Week, TemporalLevel::Month] {
+            for level in [
+                TemporalLevel::Day,
+                TemporalLevel::Week,
+                TemporalLevel::Month,
+            ] {
                 assert_eq!(
                     level.bucket_of_hour(hour),
                     level.bucket_of(w, spec),

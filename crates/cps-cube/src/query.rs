@@ -38,9 +38,9 @@ pub fn dice(
     regions
         .iter()
         .flat_map(|&region| {
-            buckets.clone().filter_map(move |bucket| {
-                cuboid.get(&CellKey { region, bucket }).copied()
-            })
+            buckets
+                .clone()
+                .filter_map(move |bucket| cuboid.get(&CellKey { region, bucket }).copied())
         })
         .fold(CountAndTotal::identity(), CountAndTotal::merge)
 }

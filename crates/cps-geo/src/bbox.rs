@@ -56,7 +56,9 @@ impl BoundingBox {
     /// Whether `p` lies inside (inclusive).
     #[inline]
     pub fn contains(&self, p: Point) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
             && p.lon <= self.max_lon
     }
 

@@ -45,11 +45,7 @@ impl SensorPartition {
 
     /// The single-region (whole-city) partition over `n` sensors.
     pub fn whole_city(n_sensors: u32) -> Self {
-        Self::new(
-            "city",
-            vec![RegionId::new(0); n_sensors as usize],
-            1,
-        )
+        Self::new("city", vec![RegionId::new(0); n_sensors as usize], 1)
     }
 
     /// Region containing `sensor`.
@@ -187,11 +183,7 @@ impl UniformGrid {
                 RegionId::new((cy / k) * dcols + cx / k)
             })
             .collect();
-        SensorPartition::new(
-            format!("district-{k}x{k}"),
-            assignment,
-            dcols * drows,
-        )
+        SensorPartition::new(format!("district-{k}x{k}"), assignment, dcols * drows)
     }
 }
 

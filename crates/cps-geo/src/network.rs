@@ -108,7 +108,10 @@ impl Locator {
             cells: FxHashMap::default(),
         };
         for s in sensors {
-            cells.entry(this.cell_of(s.location)).or_default().push(s.id);
+            cells
+                .entry(this.cell_of(s.location))
+                .or_default()
+                .push(s.id);
         }
         this.cells = cells;
         this
@@ -250,7 +253,10 @@ impl RoadNetworkBuilder {
         sensor_spacing_miles: f64,
     ) -> Self {
         assert!(waypoints.len() >= 2, "highway needs at least two waypoints");
-        assert!(sensor_spacing_miles > 0.0, "sensor spacing must be positive");
+        assert!(
+            sensor_spacing_miles > 0.0,
+            "sensor spacing must be positive"
+        );
         self.highways
             .push((name.into(), waypoints, sensor_spacing_miles));
         self

@@ -48,8 +48,7 @@ impl Point {
     /// approximation, used by the network generator).
     pub fn offset_miles(self, miles_north: f64, miles_east: f64) -> Point {
         let dlat = (miles_north / EARTH_RADIUS_MILES).to_degrees();
-        let dlon =
-            (miles_east / (EARTH_RADIUS_MILES * self.lat.to_radians().cos())).to_degrees();
+        let dlon = (miles_east / (EARTH_RADIUS_MILES * self.lat.to_radians().cos())).to_degrees();
         Point::new(self.lat + dlat, self.lon + dlon)
     }
 

@@ -256,7 +256,11 @@ mod tests {
         let pts = random_points(400, 11);
         let tree = RTree::from_points(pts.clone());
         for &r in &[1.0, 5.0, 12.0] {
-            let mut got: Vec<usize> = tree.query_radius(LOS_ANGELES, r).into_iter().copied().collect();
+            let mut got: Vec<usize> = tree
+                .query_radius(LOS_ANGELES, r)
+                .into_iter()
+                .copied()
+                .collect();
             got.sort_unstable();
             let mut want: Vec<usize> = pts
                 .iter()

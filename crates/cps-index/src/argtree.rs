@@ -161,10 +161,9 @@ impl AggregateRTree {
                     .map(|&(_, s)| s)
                     .sum()
             }
-            Node::Inner { children, .. } => children
-                .iter()
-                .map(|c| Self::visit(c, query, trace))
-                .sum(),
+            Node::Inner { children, .. } => {
+                children.iter().map(|c| Self::visit(c, query, trace)).sum()
+            }
         }
     }
 }

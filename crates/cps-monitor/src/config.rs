@@ -1,0 +1,331 @@
+//! Monitor configuration, loadable from a small TOML subset.
+//!
+//! The accepted grammar is flat `key = value` lines plus one optional
+//! `[replay]` section — enough for deployment configs without an external
+//! TOML dependency:
+//!
+//! ```toml
+//! shards = 4
+//! channel_capacity = 4096
+//! overflow = "block"          # or "drop"
+//! delta_t_minutes = 15        # seal policy: gap after which events seal
+//! min_event_records = 2       # seal policy: trust filter
+//! red_cell_miles = 2.0
+//! snapshot_dir = "/var/lib/cps-monitor"
+//!
+//! [replay]
+//! scale = "small"
+//! seed = 42
+//! days = 1
+//! ```
+
+use cps_core::{Params, WindowSpec};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// What `ingest` does when a shard's channel is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the producer until the worker catches up (backpressure).
+    Block,
+    /// Drop the record and count it in the metrics.
+    Drop,
+}
+
+/// Replay source for the binary and benchmarks: a simulated deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayConfig {
+    /// `cps-sim` scale name (`tiny`/`small`/`medium`/`paper`).
+    pub scale: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Days to replay.
+    pub days: u32,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            scale: "small".to_string(),
+            seed: 42,
+            days: 1,
+        }
+    }
+}
+
+/// Full service configuration.
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Number of spatial shards (worker threads).
+    pub shards: usize,
+    /// Bounded capacity of each shard's record channel.
+    pub channel_capacity: usize,
+    /// Behavior when a shard channel is full.
+    pub overflow: OverflowPolicy,
+    /// Extraction parameters (δd/δt/δs/δsim, seal policy).
+    pub params: Params,
+    /// Time discretization of the deployment.
+    pub spec: WindowSpec,
+    /// Grid cell size for the incrementally maintained red zones.
+    pub red_cell_miles: f64,
+    /// Where completed day buckets are persisted; `None` disables
+    /// persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Replay source used by the `cps-monitor` binary.
+    pub replay: ReplayConfig,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            channel_capacity: 4096,
+            overflow: OverflowPolicy::Block,
+            params: Params::paper_defaults(),
+            spec: WindowSpec::PEMS,
+            red_cell_miles: 2.0,
+            snapshot_dir: None,
+            replay: ReplayConfig::default(),
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Parses the TOML subset described in the module docs, starting from
+    /// defaults so every key is optional.
+    pub fn from_toml_str(text: &str) -> Result<Self, String> {
+        let entries = parse_flat_toml(text)?;
+        let mut config = MonitorConfig::default();
+        for (key, value) in &entries {
+            match key.as_str() {
+                "shards" => config.shards = value.as_usize(key)?,
+                "channel_capacity" => config.channel_capacity = value.as_usize(key)?,
+                "overflow" => {
+                    config.overflow = match value.as_str(key)? {
+                        "block" => OverflowPolicy::Block,
+                        "drop" => OverflowPolicy::Drop,
+                        other => return Err(format!("overflow: unknown policy {other:?}")),
+                    }
+                }
+                "delta_t_minutes" => {
+                    config.params.delta_t_minutes = value.as_usize(key)? as u32;
+                }
+                "min_event_records" => {
+                    config.params.min_event_records = value.as_usize(key)? as u32;
+                }
+                "delta_d_miles" => config.params.delta_d_miles = value.as_f64(key)?,
+                "delta_s" => config.params.delta_s = value.as_f64(key)?,
+                "delta_sim" => config.params.delta_sim = value.as_f64(key)?,
+                "window_minutes" => {
+                    config.spec = WindowSpec::new(value.as_usize(key)? as u32);
+                }
+                "red_cell_miles" => config.red_cell_miles = value.as_f64(key)?,
+                "snapshot_dir" => {
+                    config.snapshot_dir = Some(PathBuf::from(value.as_str(key)?));
+                }
+                "replay.scale" => config.replay.scale = value.as_str(key)?.to_string(),
+                "replay.seed" => config.replay.seed = value.as_usize(key)? as u64,
+                "replay.days" => config.replay.days = value.as_usize(key)? as u32,
+                other => return Err(format!("unknown configuration key {other:?}")),
+            }
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Loads and parses a config file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_toml_str(&text)
+    }
+
+    /// Checks cross-field invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be at least 1".to_string());
+        }
+        if self.shards > u16::MAX as usize {
+            return Err("shards must fit in u16".to_string());
+        }
+        if self.channel_capacity == 0 {
+            return Err("channel_capacity must be at least 1".to_string());
+        }
+        if self.red_cell_miles <= 0.0 || self.red_cell_miles.is_nan() {
+            return Err("red_cell_miles must be positive".to_string());
+        }
+        self.params.validate()
+    }
+}
+
+/// One parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+enum TomlValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl TomlValue {
+    fn as_usize(&self, key: &str) -> Result<usize, String> {
+        match self {
+            TomlValue::Int(n) if *n >= 0 => Ok(*n as usize),
+            other => Err(format!(
+                "{key}: expected a non-negative integer, got {other:?}"
+            )),
+        }
+    }
+
+    fn as_f64(&self, key: &str) -> Result<f64, String> {
+        match self {
+            TomlValue::Float(x) => Ok(*x),
+            TomlValue::Int(n) => Ok(*n as f64),
+            other => Err(format!("{key}: expected a number, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, key: &str) -> Result<&str, String> {
+        match self {
+            TomlValue::Str(s) => Ok(s),
+            other => Err(format!("{key}: expected a string, got {other:?}")),
+        }
+    }
+}
+
+/// Parses `key = value` lines with optional `[section]` headers into
+/// `section.key`-prefixed entries. Comments (`#`) and blank lines are
+/// skipped.
+fn parse_flat_toml(text: &str) -> Result<BTreeMap<String, TomlValue>, String> {
+    let mut entries = BTreeMap::new();
+    let mut section = String::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(format!("line {}: bad section name {name:?}", lineno + 1));
+            }
+            section = name.to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", lineno + 1));
+        };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {}: bad key {key:?}", lineno + 1));
+        }
+        let full_key = if section.is_empty() {
+            key.to_string()
+        } else {
+            format!("{section}.{key}")
+        };
+        let value = parse_value(value.trim())
+            .ok_or_else(|| format!("line {}: bad value for {key:?}", lineno + 1))?;
+        if entries.insert(full_key.clone(), value).is_some() {
+            return Err(format!("line {}: duplicate key {full_key:?}", lineno + 1));
+        }
+    }
+    Ok(entries)
+}
+
+/// Drops a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Option<TomlValue> {
+    if let Some(inner) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        // Basic strings without escapes cover paths and policy names.
+        if inner.contains('"') || inner.contains('\\') {
+            return None;
+        }
+        return Some(TomlValue::Str(inner.to_string()));
+    }
+    match text {
+        "true" => return Some(TomlValue::Bool(true)),
+        "false" => return Some(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if let Ok(n) = text.parse::<i64>() {
+        return Some(TomlValue::Int(n));
+    }
+    if let Ok(x) = text.parse::<f64>() {
+        return Some(TomlValue::Float(x));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        MonitorConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn full_config_parses() {
+        let config = MonitorConfig::from_toml_str(
+            r#"
+            # deployment
+            shards = 8
+            channel_capacity = 512     # per shard
+            overflow = "drop"
+            delta_t_minutes = 20
+            min_event_records = 3
+            red_cell_miles = 1.5
+            snapshot_dir = "/tmp/monitor # not a comment"
+
+            [replay]
+            scale = "tiny"
+            seed = 7
+            days = 2
+            "#,
+        )
+        .unwrap();
+        assert_eq!(config.shards, 8);
+        assert_eq!(config.channel_capacity, 512);
+        assert_eq!(config.overflow, OverflowPolicy::Drop);
+        assert_eq!(config.params.delta_t_minutes, 20);
+        assert_eq!(config.params.min_event_records, 3);
+        assert_eq!(config.red_cell_miles, 1.5);
+        assert_eq!(
+            config.snapshot_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/monitor # not a comment"))
+        );
+        assert_eq!(config.replay.scale, "tiny");
+        assert_eq!(config.replay.seed, 7);
+        assert_eq!(config.replay.days, 2);
+    }
+
+    #[test]
+    fn empty_config_is_defaults() {
+        let config = MonitorConfig::from_toml_str("").unwrap();
+        assert_eq!(config.shards, MonitorConfig::default().shards);
+        assert_eq!(config.overflow, OverflowPolicy::Block);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(MonitorConfig::from_toml_str("shards = 0").is_err());
+        assert!(MonitorConfig::from_toml_str("shards = -3").is_err());
+        assert!(MonitorConfig::from_toml_str("overflow = \"explode\"").is_err());
+        assert!(MonitorConfig::from_toml_str("mystery_key = 1").is_err());
+        assert!(MonitorConfig::from_toml_str("shards 4").is_err());
+        assert!(MonitorConfig::from_toml_str("shards = 2\nshards = 3").is_err());
+        assert!(MonitorConfig::from_toml_str("[re play]\nscale = \"tiny\"").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! `cps-monitor` — a sharded online monitoring service over the
+//! atypical-event pipeline.
+//!
+//! The single-threaded [`atypical::online::OnlineExtractor`] processes one
+//! deployment-wide record stream. This crate scales it out without
+//! changing its output: the road network is cut into spatial shards, each
+//! served by its own extractor on a dedicated worker thread behind a
+//! *bounded* channel (real backpressure, or an explicit drop counter), and
+//! a merger thread reconciles the events that straddle shard boundaries so
+//! the resulting micro-clusters equal the single-extractor ones — see
+//! [`merger`] for the argument and the `shard_equivalence` test for the
+//! property-based check.
+//!
+//! On top of reconciliation the merger keeps the query side of the paper
+//! live: per-day red-zone `F` values (Property 4/5) maintained
+//! incrementally, macro-clusters held at the Algorithm 3 fixpoint, and
+//! completed day buckets persisted through [`atypical::store::ForestStore`].
+//! [`MonitorHandle`] exposes significant-cluster queries (Definition 5)
+//! and red-zone-guided window queries over the live + persisted levels.
+
+pub mod config;
+mod live;
+mod merger;
+pub mod metrics;
+pub mod service;
+pub mod shard;
+
+pub use config::{MonitorConfig, OverflowPolicy, ReplayConfig};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use service::{GuidedQuery, MonitorHandle, MonitorService};
+pub use shard::ShardMap;

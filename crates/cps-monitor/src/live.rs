@@ -1,0 +1,96 @@
+//! Mutable query-side state of the running service.
+//!
+//! The merger thread is the only writer; query handles take short read
+//! passes under the same mutex. Three structures are maintained
+//! incrementally as micro-clusters are finalized:
+//!
+//! - `micros_by_day` — the live (not yet persisted) day level of the
+//!   forest;
+//! - `region_f_by_day` — per-day, per-region total severity `F(Wᵢ, day)`.
+//!   `F` is distributive (Property 4), so a query's red zones over any
+//!   whole-day range come from summing these vectors — no scan of the
+//!   micro-clusters, and the vectors survive day eviction so persisted
+//!   days stay cheap to pre-filter;
+//! - `macros` — live macro-clusters, kept at the Algorithm 3 fixpoint by
+//!   re-running the work-queue step for each arriving micro-cluster only.
+
+use atypical::similarity::similarity;
+use atypical::AtypicalCluster;
+use cps_core::ids::ClusterIdGen;
+use cps_core::{Params, Severity, WindowSpec};
+use cps_geo::grid::SensorPartition;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) struct LiveState {
+    pub(crate) ids: ClusterIdGen,
+    /// Finalized micro-clusters per day, until the day is persisted.
+    pub(crate) micros_by_day: BTreeMap<u32, Vec<AtypicalCluster>>,
+    /// Per-day red-zone numerators `F(Wᵢ, day)`; retained after eviction.
+    pub(crate) region_f_by_day: BTreeMap<u32, Vec<Severity>>,
+    /// Live macro-clusters (pairwise similarity ≤ δsim invariant).
+    pub(crate) macros: Vec<AtypicalCluster>,
+    /// Days whose micro-clusters moved to the snapshot store.
+    pub(crate) persisted_days: BTreeSet<u32>,
+}
+
+impl LiveState {
+    pub(crate) fn new() -> Self {
+        Self {
+            ids: ClusterIdGen::new(1),
+            micros_by_day: BTreeMap::new(),
+            region_f_by_day: BTreeMap::new(),
+            macros: Vec::new(),
+            persisted_days: BTreeSet::new(),
+        }
+    }
+
+    /// Admits one finalized micro-cluster: files it under its day (day of
+    /// its first window), folds its severity into the day's region `F`
+    /// vector, and integrates it into the live macro-clusters.
+    pub(crate) fn admit(
+        &mut self,
+        cluster: AtypicalCluster,
+        spec: WindowSpec,
+        partition: &SensorPartition,
+        params: &Params,
+    ) {
+        let day = spec.day_of(cluster.time_range().start);
+        let f = self
+            .region_f_by_day
+            .entry(day)
+            .or_insert_with(|| vec![Severity::ZERO; partition.num_regions() as usize]);
+        for (sensor, severity) in cluster.sf.iter() {
+            f[partition.region_of(sensor).index()] += severity;
+        }
+        self.integrate_macro(cluster.clone(), params);
+        self.micros_by_day.entry(day).or_default().push(cluster);
+    }
+
+    /// One incremental step of Algorithm 3: the candidate is compared
+    /// against the fixpoint set; a hit merges and re-enqueues, so the
+    /// pairwise-non-similar invariant is restored before returning.
+    fn integrate_macro(&mut self, cluster: AtypicalCluster, params: &Params) {
+        let mut queue = vec![cluster];
+        while let Some(candidate) = queue.pop() {
+            let hit = self
+                .macros
+                .iter()
+                .position(|m| similarity(&candidate, m, params.balance) > params.delta_sim);
+            match hit {
+                Some(i) => {
+                    let existing = self.macros.swap_remove(i);
+                    queue.push(candidate.merge(&existing, self.ids.next_id()));
+                }
+                None => self.macros.push(candidate),
+            }
+        }
+    }
+
+    /// Removes a completed day's micro-clusters for persistence. The
+    /// day's `F` vector stays so red-zone guidance keeps covering it.
+    pub(crate) fn evict_day(&mut self, day: u32) -> Option<Vec<AtypicalCluster>> {
+        let micros = self.micros_by_day.remove(&day)?;
+        self.persisted_days.insert(day);
+        Some(micros)
+    }
+}

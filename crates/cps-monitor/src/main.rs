@@ -1,0 +1,136 @@
+//! `cps-monitor` binary: replay a simulated deployment day-by-day through
+//! the sharded service and report metrics plus significant clusters.
+//!
+//! ```text
+//! cps-monitor [--config FILE] [--scale tiny|small|medium|paper]
+//!             [--seed N] [--days N] [--shards N] [--capacity N]
+//!             [--snapshot-dir DIR]
+//! ```
+//!
+//! Flags override the config file, which overrides built-in defaults.
+
+use cps_monitor::{MonitorConfig, MonitorService};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("cps-monitor: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<MonitorConfig, String> {
+    let mut config = MonitorConfig::default();
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => {
+                config = MonitorConfig::load(&PathBuf::from(value(arg, &mut it)?))?;
+            }
+            "--scale" => config.replay.scale = value(arg, &mut it)?,
+            "--seed" => {
+                config.replay.seed = value(arg, &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--days" => {
+                config.replay.days = value(arg, &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?;
+            }
+            "--shards" => {
+                config.shards = value(arg, &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--capacity" => {
+                config.channel_capacity = value(arg, &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--snapshot-dir" => {
+                config.snapshot_dir = Some(PathBuf::from(value(arg, &mut it)?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cps-monitor [--config FILE] [--scale SCALE] [--seed N] \
+                     [--days N] [--shards N] [--capacity N] [--snapshot-dir DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = parse_args(&args)?;
+
+    let scale = Scale::parse(&config.replay.scale)
+        .ok_or_else(|| format!("unknown scale {:?}", config.replay.scale))?;
+    let sim = TrafficSim::new(SimConfig::new(scale, config.replay.seed));
+    config.spec = sim.config().spec;
+    let network = Arc::new(sim.network().clone());
+
+    println!(
+        "replaying {} day(s) of scale {:?} (seed {}) over {} sensors, {} shards",
+        config.replay.days,
+        scale,
+        config.replay.seed,
+        network.num_sensors(),
+        config.shards,
+    );
+
+    let mut service = MonitorService::start(&config, network)?;
+    println!(
+        "shard layout: sizes {:?}, {} boundary sensors",
+        service.shard_map().shard_sizes(),
+        service.shard_map().boundary_sensor_count(),
+    );
+    let handle = service.handle();
+
+    for day in 0..config.replay.days {
+        let mut records = sim.atypical_day(day);
+        records.sort_by_key(|r| (r.window, r.sensor));
+        for record in records {
+            service
+                .ingest(record)
+                .map_err(|e| format!("day {day}: {e}"))?;
+        }
+    }
+
+    let metrics = service.finish();
+    println!("\n{metrics}\n");
+
+    let result = handle
+        .query_guided(0, config.replay.days)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "guided query over day 0..{}: {} candidates -> {} inputs via {} red regions",
+        config.replay.days,
+        result.candidate_clusters,
+        result.input_clusters,
+        result.num_red_regions,
+    );
+    let significant = result.significant();
+    println!(
+        "{} macro-cluster(s), {} significant (threshold {:.1} min):",
+        result.macros.len(),
+        significant.len(),
+        result.threshold.as_minutes(),
+    );
+    for cluster in significant {
+        println!("  {}", cluster.describe(config.spec));
+    }
+    Ok(())
+}

@@ -1,0 +1,377 @@
+//! The merger thread: cross-shard reconciliation, live-state maintenance,
+//! and snapshot persistence.
+//!
+//! ## Why reconciliation is exact
+//!
+//! Every record of a shard-`s` event lives on a shard-`s` sensor, so a
+//! direct δd/δt relation between records of two *different* sealed events
+//! can only pair sensors from different shards (two events sealed by the
+//! same shard are distinct connected components of the relation restricted
+//! to that shard — had any pair of their records been related, the
+//! extractor would have merged them while open). The merger therefore only
+//! tracks events containing *boundary* records, unions them when a
+//! boundary record of one is within `δd` (via [`ShardMap::cross_neighbors`])
+//! and `max_gap` windows of a boundary record of the other, and lets
+//! union-find close the transitive chains. The result equals the global
+//! connected components the single-threaded extractor would have built.
+//!
+//! ## When a pending component may finalize
+//!
+//! Let `last` be the latest window among the component's boundary records.
+//! A future or still-open record can join the component only through a
+//! boundary record with window ≤ `last + max_gap`. So the component is
+//! complete once every shard either finished, or has both its clock and
+//! its oldest open *boundary* record strictly past `last + max_gap`
+//! (workers report both with every window advance). Interior events —
+//! no boundary record — are exact global components the moment they seal
+//! and bypass the pool entirely.
+//!
+//! ## When a day may be persisted
+//!
+//! Day `d` is complete once every shard's clock passed
+//! `day_end + max_gap` (nothing sealing later can *start* in day `d`),
+//! no open event began in day `d` (workers report the oldest open record),
+//! and no pending component has a record in day `d`. Its micro-clusters
+//! then move to the [`ForestStore`] day level and leave live memory.
+
+use crate::metrics::Metrics;
+use crate::service::SharedState;
+use crate::shard::ShardMap;
+use atypical::online::SealedRawEvent;
+use atypical::{AtypicalCluster, AtypicalEvent};
+use cps_core::fx::FxHashMap;
+use cps_core::{AtypicalRecord, SensorId, TimeWindow};
+use crossbeam::channel::Receiver;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Worker → merger protocol.
+pub(crate) enum MergerMsg {
+    /// Events sealed by one shard since the last advance.
+    Sealed { events: Vec<SealedRawEvent> },
+    /// One shard's progress report, sent on every window advance.
+    Clock {
+        shard: usize,
+        /// The shard extractor's current window.
+        window: TimeWindow,
+        /// Oldest record among the shard's still-open events.
+        open_floor: Option<TimeWindow>,
+        /// Oldest *boundary-sensor* record among still-open events.
+        boundary_floor: Option<TimeWindow>,
+    },
+    /// The shard's channel closed and its final events were flushed.
+    Done { shard: usize },
+}
+
+/// One sealed boundary event waiting for reconciliation.
+struct PendingEvent {
+    records: Vec<AtypicalRecord>,
+    /// Latest window among records at boundary sensors.
+    boundary_last: TimeWindow,
+    /// Earliest window among all records (for day-completion checks).
+    min_window: TimeWindow,
+}
+
+pub(crate) struct Merger {
+    shared: Arc<SharedState>,
+    map: Arc<ShardMap>,
+    max_gap: u32,
+    /// Slab of pending events; `None` = finalized.
+    pending: Vec<Option<PendingEvent>>,
+    /// Union-find over slab slots.
+    parent: Vec<usize>,
+    /// Boundary records of pending events, indexed by sensor.
+    by_sensor: FxHashMap<SensorId, Vec<(usize, TimeWindow)>>,
+    clock: Vec<Option<TimeWindow>>,
+    open_floor: Vec<Option<TimeWindow>>,
+    boundary_floor: Vec<Option<TimeWindow>>,
+    done: Vec<bool>,
+}
+
+impl Merger {
+    pub(crate) fn new(shared: Arc<SharedState>, map: Arc<ShardMap>, max_gap: u32) -> Self {
+        let shards = map.num_shards();
+        Self {
+            shared,
+            map,
+            max_gap,
+            pending: Vec::new(),
+            parent: Vec::new(),
+            by_sensor: FxHashMap::default(),
+            clock: vec![None; shards],
+            open_floor: vec![None; shards],
+            boundary_floor: vec![None; shards],
+            done: vec![false; shards],
+        }
+    }
+
+    pub(crate) fn run(mut self, rx: Receiver<MergerMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                MergerMsg::Sealed { events } => {
+                    for event in events {
+                        self.admit_sealed(event);
+                    }
+                }
+                MergerMsg::Clock {
+                    shard,
+                    window,
+                    open_floor,
+                    boundary_floor,
+                } => {
+                    self.clock[shard] = Some(window);
+                    self.open_floor[shard] = open_floor;
+                    self.boundary_floor[shard] = boundary_floor;
+                }
+                MergerMsg::Done { shard } => {
+                    self.done[shard] = true;
+                    self.open_floor[shard] = None;
+                    self.boundary_floor[shard] = None;
+                }
+            }
+            self.finalize_ready();
+            self.persist_complete_days();
+        }
+        // All senders dropped after every shard reported Done: no more
+        // input exists, so every pending component is complete.
+        debug_assert!(self.done.iter().all(|&d| d));
+        self.finalize_all();
+        self.persist_complete_days();
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Routes one sealed event: interior events finalize immediately;
+    /// boundary events enter the pool and union with any related pending
+    /// event.
+    fn admit_sealed(&mut self, event: SealedRawEvent) {
+        self.metrics().events_sealed.fetch_add(1, Ordering::Relaxed);
+        let boundary: Vec<AtypicalRecord> = event
+            .records
+            .iter()
+            .copied()
+            .filter(|r| self.map.is_boundary(r.sensor))
+            .collect();
+        if boundary.is_empty() {
+            self.finalize_records(event.records);
+            return;
+        }
+        self.metrics()
+            .boundary_events
+            .fetch_add(1, Ordering::Relaxed);
+
+        let slot = self.pending.len();
+        let boundary_last = boundary.iter().map(|r| r.window).max().expect("non-empty");
+        let min_window = event
+            .records
+            .iter()
+            .map(|r| r.window)
+            .min()
+            .expect("sealed events are non-empty");
+        self.pending.push(Some(PendingEvent {
+            records: event.records,
+            boundary_last,
+            min_window,
+        }));
+        self.parent.push(slot);
+
+        // Union with every related pending event. Cross-shard relations
+        // always pair boundary sensors with their cross-shard δd-neighbors,
+        // so the by-sensor index over boundary records is complete.
+        let mut related = Vec::new();
+        for r in &boundary {
+            for &nb in self.map.cross_neighbors(r.sensor) {
+                if let Some(list) = self.by_sensor.get(&nb) {
+                    for &(other, w) in list {
+                        if self.pending[other].is_some() && r.window.gap(w) <= self.max_gap {
+                            related.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        for other in related {
+            self.union(slot, other);
+        }
+        for r in &boundary {
+            self.by_sensor
+                .entry(r.sensor)
+                .or_default()
+                .push((slot, r.window));
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+            self.metrics()
+                .cross_shard_merges
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether no shard can still contribute a record relating to a
+    /// component whose latest boundary window is `last`.
+    fn component_closed(&self, last: TimeWindow) -> bool {
+        let horizon = last.raw() as u64 + self.max_gap as u64;
+        (0..self.map.num_shards()).all(|s| {
+            self.done[s]
+                || (self.clock[s].is_some_and(|c| c.raw() as u64 > horizon)
+                    && self.boundary_floor[s].is_none_or(|f| f.raw() as u64 > horizon))
+        })
+    }
+
+    /// Finalizes every pending component that can no longer grow.
+    fn finalize_ready(&mut self) {
+        // Group live slots by root, tracking each component's horizon.
+        let mut roots: FxHashMap<usize, (TimeWindow, Vec<usize>)> = FxHashMap::default();
+        for slot in 0..self.pending.len() {
+            if self.pending[slot].is_none() {
+                continue;
+            }
+            let root = self.find(slot);
+            let last = self.pending[slot]
+                .as_ref()
+                .expect("checked live")
+                .boundary_last;
+            let entry = roots.entry(root).or_insert((last, Vec::new()));
+            entry.0 = entry.0.max(last);
+            entry.1.push(slot);
+        }
+        for (_, (last, slots)) in roots {
+            if self.component_closed(last) {
+                self.finalize_component(&slots);
+            }
+        }
+    }
+
+    /// Unconditionally finalizes everything pending (only valid once all
+    /// shards are done).
+    fn finalize_all(&mut self) {
+        let mut roots: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+        for slot in 0..self.pending.len() {
+            if self.pending[slot].is_some() {
+                let root = self.find(slot);
+                roots.entry(root).or_default().push(slot);
+            }
+        }
+        for (_, slots) in roots {
+            self.finalize_component(&slots);
+        }
+    }
+
+    /// Drains a component's slots into one reconciled event.
+    fn finalize_component(&mut self, slots: &[usize]) {
+        let mut records = Vec::new();
+        for &slot in slots {
+            let event = self.pending[slot].take().expect("slot still pending");
+            for r in &event.records {
+                if self.map.is_boundary(r.sensor) {
+                    if let Some(list) = self.by_sensor.get_mut(&r.sensor) {
+                        list.retain(|&(s, _)| s != slot);
+                    }
+                }
+            }
+            records.extend(event.records);
+        }
+        self.finalize_records(records);
+    }
+
+    /// The single-threaded epilogue every event reaches: trust filter,
+    /// then micro-cluster admission into the live state.
+    fn finalize_records(&mut self, mut records: Vec<AtypicalRecord>) {
+        if records.len() < self.shared.params.min_event_records as usize {
+            self.metrics()
+                .events_discarded
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        records.sort_by_key(|r| (r.window, r.sensor));
+        let event = AtypicalEvent::new(records);
+        let mut live = self.shared.live.lock();
+        let id = live.ids.next_id();
+        let cluster = AtypicalCluster::from_event(id, &event);
+        live.admit(
+            cluster,
+            self.shared.spec,
+            &self.shared.partition,
+            &self.shared.params,
+        );
+        self.metrics()
+            .micro_clusters
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics()
+            .macro_clusters
+            .store(live.macros.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Persists (and evicts) every live day that is provably complete.
+    fn persist_complete_days(&mut self) {
+        let Some(store) = &self.shared.store else {
+            return;
+        };
+        let windows_per_day = self.shared.spec.windows_per_day() as u64;
+        loop {
+            let day = {
+                let live = self.shared.live.lock();
+                match live.micros_by_day.keys().next() {
+                    Some(&d) => d,
+                    None => return,
+                }
+            };
+            let day_end = (day as u64 + 1) * windows_per_day - 1;
+            let closed = (0..self.map.num_shards()).all(|s| {
+                self.done[s]
+                    || (self.clock[s]
+                        .is_some_and(|c| c.raw() as u64 > day_end + self.max_gap as u64)
+                        && self.open_floor[s].is_none_or(|f| f.raw() as u64 > day_end))
+            }) && self
+                .pending
+                .iter()
+                .flatten()
+                .all(|p| p.min_window.raw() as u64 > day_end);
+            if !closed {
+                return;
+            }
+            let micros = {
+                let mut live = self.shared.live.lock();
+                live.evict_day(day).expect("day key observed under lock")
+            };
+            match store.save(atypical::store::ForestLevel::Day, day, &micros) {
+                Ok(()) => {
+                    let bytes = std::fs::metadata(
+                        store.bucket_path(atypical::store::ForestLevel::Day, day),
+                    )
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                    self.metrics()
+                        .days_persisted
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics()
+                        .snapshot_bytes
+                        .fetch_add(bytes, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    // Persistence is an optimization; keep serving from
+                    // memory rather than killing the merger.
+                    eprintln!("cps-monitor: failed to persist day {day}: {e}");
+                    let mut live = self.shared.live.lock();
+                    live.persisted_days.remove(&day);
+                    live.micros_by_day.insert(day, micros);
+                    return;
+                }
+            }
+        }
+    }
+}

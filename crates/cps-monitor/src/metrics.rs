@@ -1,0 +1,156 @@
+//! Service counters and the operator-facing [`MetricsSnapshot`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters shared by the ingest path, workers, and merger.
+///
+/// All counters are monotone except the per-shard queue-depth gauges and
+/// the live macro-cluster gauge.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Records accepted into a shard channel.
+    pub records_ingested: AtomicU64,
+    /// Records rejected because a shard channel was full (`overflow = "drop"`).
+    pub records_dropped: AtomicU64,
+    /// Raw events sealed by the shard workers.
+    pub events_sealed: AtomicU64,
+    /// Sealed events that touched a shard boundary and entered the
+    /// reconciliation pool.
+    pub boundary_events: AtomicU64,
+    /// Union operations joining sealed events across shards.
+    pub cross_shard_merges: AtomicU64,
+    /// Micro-clusters admitted into the live forest.
+    pub micro_clusters: AtomicU64,
+    /// Reconciled events discarded by the trust filter (fewer than
+    /// `min_event_records` records).
+    pub events_discarded: AtomicU64,
+    /// Live macro-clusters after the latest incremental integration.
+    pub macro_clusters: AtomicU64,
+    /// Day buckets persisted to the snapshot store.
+    pub days_persisted: AtomicU64,
+    /// Bytes written to the snapshot store.
+    pub snapshot_bytes: AtomicU64,
+    queue_depths: Vec<AtomicUsize>,
+}
+
+impl Metrics {
+    /// Zeroed counters for `num_shards` workers.
+    pub fn new(num_shards: usize) -> Self {
+        Self {
+            records_ingested: AtomicU64::new(0),
+            records_dropped: AtomicU64::new(0),
+            events_sealed: AtomicU64::new(0),
+            boundary_events: AtomicU64::new(0),
+            cross_shard_merges: AtomicU64::new(0),
+            micro_clusters: AtomicU64::new(0),
+            events_discarded: AtomicU64::new(0),
+            macro_clusters: AtomicU64::new(0),
+            days_persisted: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(0),
+            queue_depths: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Updates one shard's queue-depth gauge (called by its worker).
+    pub fn set_queue_depth(&self, shard: usize, depth: usize) {
+        self.queue_depths[shard].store(depth, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter; `elapsed` is the service
+    /// uptime used for the ingest rate.
+    pub fn snapshot(&self, elapsed: Duration) -> MetricsSnapshot {
+        let records_ingested = self.records_ingested.load(Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        MetricsSnapshot {
+            records_ingested,
+            records_dropped: self.records_dropped.load(Ordering::Relaxed),
+            records_per_sec: if secs > 0.0 {
+                records_ingested as f64 / secs
+            } else {
+                0.0
+            },
+            events_sealed: self.events_sealed.load(Ordering::Relaxed),
+            boundary_events: self.boundary_events.load(Ordering::Relaxed),
+            cross_shard_merges: self.cross_shard_merges.load(Ordering::Relaxed),
+            micro_clusters: self.micro_clusters.load(Ordering::Relaxed),
+            events_discarded: self.events_discarded.load(Ordering::Relaxed),
+            macro_clusters: self.macro_clusters.load(Ordering::Relaxed),
+            days_persisted: self.days_persisted.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            queue_depths: self
+                .queue_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            elapsed,
+        }
+    }
+}
+
+/// One observation of the service's counters. See [`Metrics`] for the
+/// meaning of each field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    pub records_ingested: u64,
+    pub records_dropped: u64,
+    pub records_per_sec: f64,
+    pub events_sealed: u64,
+    pub boundary_events: u64,
+    pub cross_shard_merges: u64,
+    pub micro_clusters: u64,
+    pub events_discarded: u64,
+    pub macro_clusters: u64,
+    pub days_persisted: u64,
+    pub snapshot_bytes: u64,
+    pub queue_depths: Vec<usize>,
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "records ingested    {:>10}  ({:.0} records/s over {:.2?})",
+            self.records_ingested, self.records_per_sec, self.elapsed
+        )?;
+        writeln!(f, "records dropped     {:>10}", self.records_dropped)?;
+        writeln!(
+            f,
+            "events sealed       {:>10}  ({} boundary, {} cross-shard merges)",
+            self.events_sealed, self.boundary_events, self.cross_shard_merges
+        )?;
+        writeln!(
+            f,
+            "micro-clusters      {:>10}  ({} discarded by trust filter)",
+            self.micro_clusters, self.events_discarded
+        )?;
+        writeln!(f, "macro-clusters      {:>10}", self.macro_clusters)?;
+        writeln!(
+            f,
+            "days persisted      {:>10}  ({} bytes)",
+            self.days_persisted, self.snapshot_bytes
+        )?;
+        write!(f, "queue depths        {:?}", self.queue_depths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters_and_computes_rate() {
+        let m = Metrics::new(2);
+        m.records_ingested.store(500, Ordering::Relaxed);
+        m.set_queue_depth(1, 7);
+        let snap = m.snapshot(Duration::from_secs(2));
+        assert_eq!(snap.records_ingested, 500);
+        assert_eq!(snap.records_per_sec, 250.0);
+        assert_eq!(snap.queue_depths, vec![0, 7]);
+        let text = snap.to_string();
+        assert!(text.contains("records ingested"), "{text}");
+        assert!(text.contains("250 records/s"), "{text}");
+    }
+}

@@ -1,0 +1,430 @@
+//! The monitoring service: ingest routing, shard workers, and the
+//! [`MonitorHandle`] query facade.
+//!
+//! ```text
+//!                      ┌─ bounded channel ─ worker 0 (OnlineExtractor) ─┐
+//!  ingest ── ShardMap ─┼─ bounded channel ─ worker 1 (OnlineExtractor) ─┼─ merger ─ live state
+//!                      └─ bounded channel ─ worker N (OnlineExtractor) ─┘      └──── ForestStore
+//! ```
+//!
+//! Records are routed to the shard owning their sensor; window advances
+//! are broadcast to every shard so all extractor clocks move together.
+//! Channels are bounded: with [`OverflowPolicy::Block`] a full channel
+//! exerts backpressure on the producer, with [`OverflowPolicy::Drop`] the
+//! record is dropped and counted.
+
+use crate::config::{MonitorConfig, OverflowPolicy};
+use crate::live::LiveState;
+use crate::merger::{Merger, MergerMsg};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::shard::ShardMap;
+use atypical::integrate::{integrate_aligned, TimeAlignment};
+use atypical::online::{OnlineExtractor, OutOfOrderRecord};
+use atypical::significant::significance_threshold;
+use atypical::store::{ForestLevel, ForestStore};
+use atypical::AtypicalCluster;
+use cps_core::{AtypicalRecord, Params, RegionId, Severity, TimeRange, TimeWindow, WindowSpec};
+use cps_geo::grid::{SensorPartition, UniformGrid};
+use cps_geo::RoadNetwork;
+use cps_index::st_index::max_gap_windows;
+use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// State shared between the ingest thread, workers, merger, and handles.
+pub(crate) struct SharedState {
+    pub(crate) network: Arc<RoadNetwork>,
+    pub(crate) partition: SensorPartition,
+    pub(crate) params: Params,
+    pub(crate) spec: WindowSpec,
+    pub(crate) metrics: Metrics,
+    pub(crate) live: Mutex<LiveState>,
+    pub(crate) store: Option<ForestStore>,
+    pub(crate) started: Instant,
+}
+
+/// Ingest → worker protocol.
+#[derive(Debug)]
+enum WorkerMsg {
+    Record(AtypicalRecord),
+    Advance(TimeWindow),
+}
+
+/// A running sharded monitoring service.
+///
+/// Feed window-ordered records through [`ingest`](Self::ingest); query at
+/// any time through a [`MonitorHandle`]; [`finish`](Self::finish) drains
+/// the pipeline and returns the final metrics.
+pub struct MonitorService {
+    shared: Arc<SharedState>,
+    map: Arc<ShardMap>,
+    overflow: OverflowPolicy,
+    senders: Vec<Sender<WorkerMsg>>,
+    workers: Vec<JoinHandle<()>>,
+    merger: Option<JoinHandle<()>>,
+    current_window: Option<TimeWindow>,
+}
+
+impl MonitorService {
+    /// Validates `config`, shards `network`, and spawns the worker and
+    /// merger threads.
+    pub fn start(config: &MonitorConfig, network: Arc<RoadNetwork>) -> Result<Self, String> {
+        config.validate()?;
+        let params = config.params;
+        let spec = config.spec;
+        let map = Arc::new(ShardMap::build(
+            &network,
+            config.shards,
+            params.delta_d_miles,
+        ));
+        let partition = UniformGrid::over(&network, config.red_cell_miles).partition(&network);
+        let store = match &config.snapshot_dir {
+            Some(dir) => Some(ForestStore::open(dir).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        let shared = Arc::new(SharedState {
+            network: network.clone(),
+            partition,
+            params,
+            spec,
+            metrics: Metrics::new(config.shards),
+            live: Mutex::new(LiveState::new()),
+            store,
+            started: Instant::now(),
+        });
+        let max_gap = max_gap_windows(&params, spec);
+
+        // Merger input is unbounded: its producers are the bounded-channel
+        // workers, so it is already flow-controlled by the record channels.
+        let (merger_tx, merger_rx) = unbounded::<MergerMsg>();
+        let merger = {
+            let merger = Merger::new(shared.clone(), map.clone(), max_gap);
+            std::thread::Builder::new()
+                .name("cps-monitor-merger".to_string())
+                .spawn(move || merger.run(merger_rx))
+                .map_err(|e| format!("spawning merger: {e}"))?
+        };
+
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded::<WorkerMsg>(config.channel_capacity);
+            senders.push(tx);
+            let (network, map, shared, merger_tx) = (
+                network.clone(),
+                map.clone(),
+                shared.clone(),
+                merger_tx.clone(),
+            );
+            let worker = std::thread::Builder::new()
+                .name(format!("cps-monitor-shard-{shard}"))
+                .spawn(move || {
+                    let mut extractor = OnlineExtractor::new(&network, params, spec);
+                    extractor.retain_raw_events(true);
+                    while let Ok(msg) = rx.recv() {
+                        shared.metrics.set_queue_depth(shard, rx.len());
+                        match msg {
+                            WorkerMsg::Record(record) => {
+                                // The service's ingest clock already
+                                // rejected regressing windows, so this
+                                // cannot fail; stay defensive anyway.
+                                if extractor.push(record).is_err() {
+                                    debug_assert!(false, "service clock admitted a stale record");
+                                }
+                            }
+                            WorkerMsg::Advance(window) => {
+                                extractor.advance_to(window);
+                                let events = extractor.drain_sealed_raw();
+                                if !events.is_empty() {
+                                    let _ = merger_tx.send(MergerMsg::Sealed { events });
+                                }
+                                let _ = merger_tx.send(MergerMsg::Clock {
+                                    shard,
+                                    window,
+                                    open_floor: extractor.open_min_window_where(|_| true),
+                                    boundary_floor: extractor
+                                        .open_min_window_where(|s| map.is_boundary(s)),
+                                });
+                            }
+                        }
+                    }
+                    shared.metrics.set_queue_depth(shard, 0);
+                    let events = extractor.finish_raw();
+                    if !events.is_empty() {
+                        let _ = merger_tx.send(MergerMsg::Sealed { events });
+                    }
+                    let _ = merger_tx.send(MergerMsg::Done { shard });
+                })
+                .map_err(|e| format!("spawning shard worker {shard}: {e}"))?;
+            workers.push(worker);
+        }
+        drop(merger_tx);
+
+        Ok(Self {
+            shared,
+            map,
+            overflow: config.overflow,
+            senders,
+            workers,
+            merger: Some(merger),
+            current_window: None,
+        })
+    }
+
+    /// The shard layout in use.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// A cloneable query facade, valid beyond [`finish`](Self::finish).
+    pub fn handle(&self) -> MonitorHandle {
+        MonitorHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Feeds one record. Returns `Ok(true)` if accepted, `Ok(false)` if
+    /// dropped by a full channel under [`OverflowPolicy::Drop`], and an
+    /// error if `record.window` regresses behind the ingest clock (the
+    /// per-shard extractors require a monotone window feed).
+    pub fn ingest(&mut self, record: AtypicalRecord) -> Result<bool, OutOfOrderRecord> {
+        match self.current_window {
+            Some(current) if record.window < current => {
+                return Err(OutOfOrderRecord {
+                    record,
+                    current_window: current,
+                });
+            }
+            Some(current) if record.window > current => self.broadcast_advance(record.window),
+            None => self.broadcast_advance(record.window),
+            _ => {}
+        }
+        self.current_window = Some(record.window);
+
+        let shard = self.map.shard_of(record.sensor);
+        match self.overflow {
+            OverflowPolicy::Block => {
+                self.senders[shard]
+                    .send(WorkerMsg::Record(record))
+                    .expect("shard worker terminated");
+            }
+            OverflowPolicy::Drop => match self.senders[shard].try_send(WorkerMsg::Record(record)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.shared
+                        .metrics
+                        .records_dropped
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return Ok(false);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("shard worker terminated");
+                }
+            },
+        }
+        self.shared
+            .metrics
+            .records_ingested
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Advances every shard's clock without feeding a record — e.g. to
+    /// flush quiet periods at the end of a replay segment.
+    pub fn advance_to(&mut self, window: TimeWindow) {
+        if self.current_window.is_none_or(|c| window > c) {
+            self.broadcast_advance(window);
+            self.current_window = Some(window);
+        }
+    }
+
+    /// Window-advance broadcasts always block: dropping one would let a
+    /// shard's clock fall behind and stall finalization.
+    fn broadcast_advance(&self, window: TimeWindow) {
+        for tx in &self.senders {
+            tx.send(WorkerMsg::Advance(window))
+                .expect("shard worker terminated");
+        }
+    }
+
+    /// Closes the feed, drains every shard, reconciles and persists what
+    /// remains, and returns the final metrics. Handles stay valid.
+    pub fn finish(mut self) -> MetricsSnapshot {
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("shard worker panicked");
+        }
+        if let Some(merger) = self.merger.take() {
+            merger.join().expect("merger panicked");
+        }
+        self.shared.metrics.snapshot(self.shared.started.elapsed())
+    }
+}
+
+/// Outcome of one red-zone-guided window query (Algorithm 4 over the
+/// live + persisted day levels).
+#[derive(Clone, Debug)]
+pub struct GuidedQuery {
+    /// Window range of the query.
+    pub range: TimeRange,
+    /// Macro-clusters integrated from the guided inputs.
+    pub macros: Vec<AtypicalCluster>,
+    /// Significance threshold at the query scale (Definition 5).
+    pub threshold: Severity,
+    /// Regions marked red by the incrementally maintained `F` values.
+    pub num_red_regions: usize,
+    /// Micro-clusters in the query range before guidance.
+    pub candidate_clusters: usize,
+    /// Micro-clusters that survived the red-zone filter.
+    pub input_clusters: usize,
+}
+
+impl GuidedQuery {
+    /// The macro-clusters significant at the query scale.
+    pub fn significant(&self) -> Vec<&AtypicalCluster> {
+        self.macros
+            .iter()
+            .filter(|c| c.severity() > self.threshold)
+            .collect()
+    }
+}
+
+/// Cloneable, thread-safe query facade over the service's live state and
+/// snapshot store.
+#[derive(Clone)]
+pub struct MonitorHandle {
+    shared: Arc<SharedState>,
+}
+
+impl MonitorHandle {
+    /// Current service metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.shared.started.elapsed())
+    }
+
+    /// The live macro-clusters (Algorithm 3 fixpoint over every finalized
+    /// micro-cluster so far).
+    pub fn live_macro_clusters(&self) -> Vec<AtypicalCluster> {
+        self.shared.live.lock().macros.clone()
+    }
+
+    /// Every live (not yet persisted) micro-cluster.
+    pub fn live_micro_clusters(&self) -> Vec<AtypicalCluster> {
+        let live = self.shared.live.lock();
+        live.micros_by_day.values().flatten().cloned().collect()
+    }
+
+    /// One day's micro-clusters, from live memory or the snapshot store.
+    pub fn micro_clusters_for_day(&self, day: u32) -> cps_core::Result<Vec<AtypicalCluster>> {
+        {
+            let live = self.shared.live.lock();
+            if let Some(micros) = live.micros_by_day.get(&day) {
+                return Ok(micros.clone());
+            }
+        }
+        match &self.shared.store {
+            Some(store) => Ok(store.load(ForestLevel::Day, day)?.unwrap_or_default()),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Red regions over a whole-day range, with their `F` values, from the
+    /// incrementally maintained per-day severity vectors (equal to
+    /// [`atypical::redzone::RedZones::compute`] on the same micro-clusters
+    /// by distributivity, Property 4).
+    pub fn red_regions(&self, first_day: u32, n_days: u32) -> Vec<(RegionId, Severity)> {
+        let range = self.shared.spec.day_range(first_day, n_days);
+        let f = self.compose_region_f(first_day, n_days);
+        self.mark_red(&f, range)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, red)| red)
+            .map(|(i, _)| (RegionId::new(i as u32), f[i]))
+            .collect()
+    }
+
+    /// Red-zone-guided query over whole days (Algorithm 4): micro-clusters
+    /// outside every red region are pruned — safely, per Property 5 —
+    /// before time-of-day-aligned integration.
+    pub fn query_guided(&self, first_day: u32, n_days: u32) -> cps_core::Result<GuidedQuery> {
+        let spec = self.shared.spec;
+        let params = &self.shared.params;
+        let range = spec.day_range(first_day, n_days);
+        let n_sensors = self.shared.network.num_sensors() as u32;
+        let threshold = significance_threshold(params, range, n_sensors);
+
+        let f = self.compose_region_f(first_day, n_days);
+        let red = self.mark_red(&f, range);
+        let num_red_regions = red.iter().filter(|&&r| r).count();
+
+        let mut candidates = Vec::new();
+        for day in first_day..first_day.saturating_add(n_days) {
+            candidates.extend(self.micro_clusters_for_day(day)?);
+        }
+        let candidate_clusters = candidates.len();
+        let partition = &self.shared.partition;
+        let inputs: Vec<AtypicalCluster> = candidates
+            .into_iter()
+            .filter(|c| c.sf.keys().any(|s| red[partition.region_of(s).index()]))
+            .collect();
+        let input_clusters = inputs.len();
+
+        let alignment = TimeAlignment::TimeOfDay {
+            windows_per_day: spec.windows_per_day(),
+        };
+        let mut live = self.shared.live.lock();
+        let (macros, _stats) = integrate_aligned(inputs, params, alignment, &mut live.ids);
+        Ok(GuidedQuery {
+            range,
+            macros,
+            threshold,
+            num_red_regions,
+            candidate_clusters,
+            input_clusters,
+        })
+    }
+
+    /// The significant clusters of a whole-day range (Definition 5),
+    /// via [`query_guided`](Self::query_guided).
+    pub fn significant_clusters(
+        &self,
+        first_day: u32,
+        n_days: u32,
+    ) -> cps_core::Result<Vec<AtypicalCluster>> {
+        let mut result = self.query_guided(first_day, n_days)?;
+        result.macros.retain(|c| c.severity() > result.threshold);
+        Ok(result.macros)
+    }
+
+    /// Sums the per-day region `F` vectors over `[first_day, first_day + n_days)`.
+    fn compose_region_f(&self, first_day: u32, n_days: u32) -> Vec<Severity> {
+        let num_regions = self.shared.partition.num_regions() as usize;
+        let mut f = vec![Severity::ZERO; num_regions];
+        let live = self.shared.live.lock();
+        for (_, day_f) in live
+            .region_f_by_day
+            .range(first_day..first_day.saturating_add(n_days))
+        {
+            for (acc, &s) in f.iter_mut().zip(day_f) {
+                *acc += s;
+            }
+        }
+        f
+    }
+
+    /// Applies the per-region significance-density test of
+    /// [`atypical::redzone::RedZones::compute`] to composed `F` values.
+    fn mark_red(&self, f: &[Severity], range: TimeRange) -> Vec<bool> {
+        let partition = &self.shared.partition;
+        let params = &self.shared.params;
+        f.iter()
+            .enumerate()
+            .map(|(i, &fv)| {
+                let n_i = partition.sensors_in(RegionId::new(i as u32)).len() as u32;
+                n_i > 0 && fv >= significance_threshold(params, range, n_i)
+            })
+            .collect()
+    }
+}

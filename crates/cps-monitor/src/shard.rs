@@ -1,0 +1,166 @@
+//! Spatial sharding of a [`RoadNetwork`].
+//!
+//! Sensors are sorted by longitude (then latitude, then id — a total
+//! order) and cut into `num_shards` contiguous, evenly sized chunks, so
+//! each shard owns a compact geographic band and the δd-relation can only
+//! cross shards near the cuts. A sensor is a *boundary* sensor when some
+//! sensor within `δd` belongs to another shard; only events touching
+//! boundary sensors can ever need cross-shard reconciliation, and the
+//! merger limits its bookkeeping to exactly those.
+
+use cps_core::SensorId;
+use cps_geo::RoadNetwork;
+
+/// Static assignment of sensors to shards plus the cross-shard δd
+/// adjacency used by the merger's reconciliation.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    num_shards: usize,
+    shard_of: Vec<u16>,
+    /// δd-neighbors in *other* shards, per sensor. Empty for interior
+    /// sensors; non-empty exactly for boundary sensors.
+    cross_neighbors: Vec<Vec<SensorId>>,
+    boundary_sensors: usize,
+}
+
+impl ShardMap {
+    /// Builds the shard assignment for `network` with the given δd.
+    ///
+    /// `num_shards` may exceed the sensor count; surplus shards simply own
+    /// no sensors.
+    pub fn build(network: &RoadNetwork, num_shards: usize, delta_d_miles: f64) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        assert!(num_shards <= u16::MAX as usize, "shard id must fit in u16");
+        let n = network.num_sensors();
+
+        let mut order: Vec<SensorId> = network.sensors().iter().map(|s| s.id).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (network.sensor(a).location, network.sensor(b).location);
+            pa.lon
+                .total_cmp(&pb.lon)
+                .then(pa.lat.total_cmp(&pb.lat))
+                .then(a.cmp(&b))
+        });
+
+        let mut shard_of = vec![0u16; n];
+        for (rank, &sensor) in order.iter().enumerate() {
+            shard_of[sensor.index()] = (rank * num_shards / n.max(1)) as u16;
+        }
+
+        let mut cross_neighbors = vec![Vec::new(); n];
+        let mut boundary_sensors = 0;
+        for sensor in network.sensors() {
+            let own = shard_of[sensor.id.index()];
+            let cross: Vec<SensorId> = network
+                .sensors_near(sensor.id, delta_d_miles)
+                .into_iter()
+                .filter(|b| shard_of[b.index()] != own)
+                .collect();
+            if !cross.is_empty() {
+                boundary_sensors += 1;
+            }
+            cross_neighbors[sensor.id.index()] = cross;
+        }
+
+        Self {
+            num_shards,
+            shard_of,
+            cross_neighbors,
+            boundary_sensors,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning `sensor`.
+    #[inline]
+    pub fn shard_of(&self, sensor: SensorId) -> usize {
+        self.shard_of[sensor.index()] as usize
+    }
+
+    /// Whether `sensor` has a δd-neighbor in another shard.
+    #[inline]
+    pub fn is_boundary(&self, sensor: SensorId) -> bool {
+        !self.cross_neighbors[sensor.index()].is_empty()
+    }
+
+    /// δd-neighbors of `sensor` owned by other shards.
+    #[inline]
+    pub fn cross_neighbors(&self, sensor: SensorId) -> &[SensorId] {
+        &self.cross_neighbors[sensor.index()]
+    }
+
+    /// Total boundary sensors across the deployment.
+    pub fn boundary_sensor_count(&self) -> usize {
+        self.boundary_sensors
+    }
+
+    /// Sensors per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.num_shards];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_sim::{Scale, SimConfig, TrafficSim};
+
+    fn network() -> RoadNetwork {
+        TrafficSim::new(SimConfig::new(Scale::Tiny, 1))
+            .network()
+            .clone()
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let net = network();
+        let map = ShardMap::build(&net, 1, 1.0);
+        assert_eq!(map.boundary_sensor_count(), 0);
+        for s in net.sensors() {
+            assert_eq!(map.shard_of(s.id), 0);
+            assert!(!map.is_boundary(s.id));
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced_and_cover_all_sensors() {
+        let net = network();
+        for shards in [2, 3, 4, 8] {
+            let map = ShardMap::build(&net, shards, 1.0);
+            let sizes = map.shard_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), net.num_sensors());
+            let (min, max) = (
+                sizes.iter().filter(|&&s| s > 0).min().copied().unwrap_or(0),
+                sizes.iter().max().copied().unwrap(),
+            );
+            assert!(max - min <= 1, "{shards} shards: uneven sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_flags_match_cross_neighbors() {
+        let net = network();
+        let map = ShardMap::build(&net, 4, 1.0);
+        assert!(
+            map.boundary_sensor_count() > 0,
+            "a 4-way cut must cross δd somewhere"
+        );
+        for s in net.sensors() {
+            let expected: Vec<SensorId> = net
+                .sensors_near(s.id, 1.0)
+                .into_iter()
+                .filter(|b| map.shard_of(*b) != map.shard_of(s.id))
+                .collect();
+            assert_eq!(map.cross_neighbors(s.id), expected.as_slice());
+            assert_eq!(map.is_boundary(s.id), !expected.is_empty());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Service-level behavior: ingest ordering, overflow accounting, snapshot
+//! persistence, and the incrementally maintained red zones.
+
+use atypical::redzone::RedZones;
+use cps_core::{AtypicalRecord, RegionId, Severity, TimeWindow};
+use cps_geo::grid::UniformGrid;
+use cps_monitor::{MonitorConfig, MonitorService, OverflowPolicy};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tiny_day() -> (TrafficSim, Vec<AtypicalRecord>) {
+    let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 11));
+    let mut records = sim.atypical_day(0);
+    records.sort_by_key(|r| (r.window, r.sensor));
+    (sim, records)
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cps-monitor-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn out_of_order_ingest_is_rejected_and_service_survives() {
+    let (sim, records) = tiny_day();
+    let config = MonitorConfig {
+        spec: sim.config().spec,
+        ..MonitorConfig::default()
+    };
+    let mut service =
+        MonitorService::start(&config, Arc::new(sim.network().clone())).expect("service starts");
+
+    let later = records[records.len() / 2];
+    let earlier = AtypicalRecord::new(
+        records[0].sensor,
+        TimeWindow::new(later.window.raw() - 1),
+        records[0].severity,
+    );
+    service.ingest(later).expect("first record is accepted");
+    let err = service
+        .ingest(earlier)
+        .expect_err("regressing window must be rejected");
+    assert_eq!(err.record, earlier);
+    assert_eq!(err.current_window, later.window);
+
+    // The rejected record left the pipeline intact.
+    for &r in &records[records.len() / 2..] {
+        service.ingest(r).expect("in-order tail is accepted");
+    }
+    let metrics = service.finish();
+    assert_eq!(
+        metrics.records_ingested as usize,
+        1 + records.len() - records.len() / 2
+    );
+    assert_eq!(metrics.records_dropped, 0);
+}
+
+#[test]
+fn drop_policy_accounts_for_every_record() {
+    let (sim, records) = tiny_day();
+    let config = MonitorConfig {
+        shards: 2,
+        channel_capacity: 1,
+        overflow: OverflowPolicy::Drop,
+        spec: sim.config().spec,
+        ..MonitorConfig::default()
+    };
+    let mut service =
+        MonitorService::start(&config, Arc::new(sim.network().clone())).expect("service starts");
+    let mut accepted = 0u64;
+    for &r in &records {
+        if service.ingest(r).expect("in-order feed") {
+            accepted += 1;
+        }
+    }
+    let metrics = service.finish();
+    assert_eq!(metrics.records_ingested, accepted);
+    assert_eq!(
+        metrics.records_ingested + metrics.records_dropped,
+        records.len() as u64
+    );
+}
+
+#[test]
+fn persisted_days_remain_queryable_and_red_zones_match_batch() {
+    let (sim, records) = tiny_day();
+    let root = tmp("persist");
+    let config = MonitorConfig {
+        shards: 4,
+        snapshot_dir: Some(root.clone()),
+        spec: sim.config().spec,
+        ..MonitorConfig::default()
+    };
+    let network = Arc::new(sim.network().clone());
+    let mut service = MonitorService::start(&config, network.clone()).expect("service starts");
+    let handle = service.handle();
+    for &r in &records {
+        service.ingest(r).expect("in-order feed");
+    }
+    // Nudge the clock past the day so the final day bucket is provably
+    // complete before the feed closes (finish would also do it).
+    let metrics = service.finish();
+
+    assert_eq!(metrics.days_persisted, 1, "{metrics}");
+    assert!(metrics.snapshot_bytes > 0, "{metrics}");
+    assert!(metrics.micro_clusters > 0, "{metrics}");
+
+    // The persisted day left live memory but still answers queries.
+    assert!(handle.live_micro_clusters().is_empty());
+    let micros = handle.micro_clusters_for_day(0).expect("store read");
+    assert_eq!(micros.len() as u64, metrics.micro_clusters);
+
+    let result = handle.query_guided(0, 1).expect("guided query");
+    assert_eq!(result.candidate_clusters as u64, metrics.micro_clusters);
+    assert!(result.num_red_regions > 0);
+
+    // The incrementally composed red zones equal the batch computation
+    // over the same micro-clusters (Property 4: F is distributive).
+    let partition = UniformGrid::over(&network, config.red_cell_miles).partition(&network);
+    let range = config.spec.day_range(0, 1);
+    let zones = RedZones::compute(
+        &micros,
+        &partition,
+        &config.params,
+        range,
+        network.num_sensors() as u32,
+    );
+    let incremental = handle.red_regions(0, 1);
+    let batch: Vec<(RegionId, Severity)> = (0..partition.num_regions())
+        .map(RegionId::new)
+        .filter(|&r| zones.is_red(r))
+        .map(|r| (r, zones.f_value(r)))
+        .collect();
+    assert_eq!(incremental, batch);
+
+    let _ = std::fs::remove_dir_all(&root);
+}

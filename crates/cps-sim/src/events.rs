@@ -72,10 +72,7 @@ impl EventTemplate {
     ///
     /// Returns a map from affected sensor/window pairs to intensity; the
     /// caller overlays multiple events by taking the maximum.
-    pub fn impact(
-        &self,
-        network: &RoadNetwork,
-    ) -> FxHashMap<(SensorId, TimeWindow), f64> {
+    pub fn impact(&self, network: &RoadNetwork) -> FxHashMap<(SensorId, TimeWindow), f64> {
         let hops = hop_distances(network, self.seed_sensor, self.peak_radius_hops);
         let mut out = FxHashMap::default();
         for k in 0..self.duration_windows {

@@ -6,9 +6,7 @@ use crate::events::{hop_distances, EventCause, EventTemplate, PlannedEvent};
 use crate::network::build_network;
 use cps_core::fx::FxHashMap;
 use cps_core::record::{AtypicalCriterion, SpeedThreshold};
-use cps_core::{
-    AtypicalRecord, DatasetId, RawRecord, Result, SensorId, TimeWindow,
-};
+use cps_core::{AtypicalRecord, DatasetId, RawRecord, Result, SensorId, TimeWindow};
 use cps_geo::RoadNetwork;
 use cps_storage::{DatasetMeta, DatasetStore};
 use rand::rngs::StdRng;
@@ -288,8 +286,7 @@ impl TrafficSim {
         };
         let fire_prob = (base_prob * weather.event_rate_multiplier()).min(0.95);
         for (i, h) in self.hotspots.iter().enumerate() {
-            let active =
-                day >= h.active_from_day && day < h.active_from_day + h.active_days;
+            let active = day >= h.active_from_day && day < h.active_from_day + h.active_days;
             if !active || rng.gen::<f64>() >= fire_prob {
                 continue;
             }
@@ -355,8 +352,7 @@ impl TrafficSim {
                 continue;
             }
             let minute = (site.minute_of_day as i64 + rng.gen_range(-25..=25)).max(0) as u32;
-            let start =
-                (day_start + minute / spec.window_minutes).min(day_start + wpd - 4);
+            let start = (day_start + minute / spec.window_minutes).min(day_start + wpd - 4);
             planned.push(PlannedEvent {
                 template: self.clamped_template(
                     site.sensor,
@@ -427,11 +423,17 @@ impl TrafficSim {
                     (freeflow + rng.gen_range(-7.0..7.0)).max(threshold + 2.0)
                 };
                 let congestion = ((threshold - speed) / threshold).clamp(0.0, 1.0);
-                let flow = (40.0 + 80.0 * (1.0 - congestion) + rng.gen_range(-8.0..8.0))
-                    .max(1.0) as u16;
-                let occupancy = ((120.0 + 700.0 * congestion) * rng.gen_range(0.9..1.1))
-                    .min(1000.0) as u16;
-                raw.push(RawRecord::new(sensor, window, speed as f32, flow, occupancy));
+                let flow =
+                    (40.0 + 80.0 * (1.0 - congestion) + rng.gen_range(-8.0..8.0)).max(1.0) as u16;
+                let occupancy =
+                    ((120.0 + 700.0 * congestion) * rng.gen_range(0.9..1.1)).min(1000.0) as u16;
+                raw.push(RawRecord::new(
+                    sensor,
+                    window,
+                    speed as f32,
+                    flow,
+                    occupancy,
+                ));
             }
         }
 
@@ -634,9 +636,10 @@ mod tests {
         let hotspot = s.hotspots()[0].sensor;
         let days_fired = (0..10)
             .filter(|&d| {
-                s.generate_day(d).planned.iter().any(|e| {
-                    e.cause == EventCause::Hotspot(0) && e.template.seed_sensor == hotspot
-                })
+                s.generate_day(d)
+                    .planned
+                    .iter()
+                    .any(|e| e.cause == EventCause::Hotspot(0) && e.template.seed_sensor == hotspot)
             })
             .count();
         assert!(days_fired >= 4, "hotspot fired only {days_fired}/10 days");
@@ -666,9 +669,8 @@ mod tests {
         let Some(ev) = g.planned.first() else {
             return;
         };
-        let peak = TimeWindow::new(
-            ev.template.start_window.raw() + ev.template.duration_windows / 2,
-        );
+        let peak =
+            TimeWindow::new(ev.template.start_window.raw() + ev.template.duration_windows / 2);
         let seed_speed = g
             .raw
             .iter()
@@ -700,8 +702,7 @@ mod tests {
             .unwrap()
             .map(|r| r.unwrap())
             .collect();
-        let in_memory: Vec<AtypicalRecord> =
-            (0..3).flat_map(|d| s.atypical_day(d)).collect();
+        let in_memory: Vec<AtypicalRecord> = (0..3).flat_map(|d| s.atypical_day(d)).collect();
         assert_eq!(from_disk, in_memory);
         // Context logs exist and parse.
         let ctx = ContextLog::load(&root, DatasetId::new(1)).unwrap();

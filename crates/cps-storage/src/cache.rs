@@ -61,9 +61,7 @@ impl PartitionCache {
         // Decode outside the lock: concurrent misses may read the same file
         // twice, but never block each other on I/O.
         let reader = PartitionReader::open(path, Arc::clone(&self.stats))?;
-        let records: Vec<AtypicalRecord> = reader
-            .atypical_records()
-            .collect::<Result<Vec<_>>>()?;
+        let records: Vec<AtypicalRecord> = reader.atypical_records().collect::<Result<Vec<_>>>()?;
         let records = Arc::new(records);
         let size = records.len() as u64 * RECORD_MEM_SIZE;
 

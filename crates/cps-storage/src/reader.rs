@@ -179,8 +179,10 @@ mod tests {
             .write(true)
             .open(&path)
             .unwrap();
-        f.seek(SeekFrom::Start((HEADER_SIZE + BLOCK_HEADER_SIZE + 5) as u64))
-            .unwrap();
+        f.seek(SeekFrom::Start(
+            (HEADER_SIZE + BLOCK_HEADER_SIZE + 5) as u64,
+        ))
+        .unwrap();
         f.write_all(&[0xFF]).unwrap();
         drop(f);
 

@@ -147,7 +147,8 @@ impl DatasetStore {
 
     /// Path of the raw partition for (`dataset`, local `day`).
     pub fn raw_path(&self, id: DatasetId, local_day: u32) -> PathBuf {
-        self.dataset_dir(id).join(format!("raw-d{local_day:03}.cps"))
+        self.dataset_dir(id)
+            .join(format!("raw-d{local_day:03}.cps"))
     }
 
     /// Path of the atypical partition for (`dataset`, local `day`).
@@ -191,10 +192,12 @@ impl DatasetStore {
     ) -> Result<impl Iterator<Item = Result<RawRecord>>> {
         let meta = self.dataset(id)?;
         let paths: Vec<PathBuf> = (0..meta.n_days).map(|d| self.raw_path(id, d)).collect();
-        Ok(ChainedScan::new(paths, stats, ScanKind::Raw).map(|r| r.map(|rec| match rec {
-            Either::Raw(r) => r,
-            Either::Atypical(_) => unreachable!("raw scan yielded atypical record"),
-        })))
+        Ok(ChainedScan::new(paths, stats, ScanKind::Raw).map(|r| {
+            r.map(|rec| match rec {
+                Either::Raw(r) => r,
+                Either::Atypical(_) => unreachable!("raw scan yielded atypical record"),
+            })
+        }))
     }
 
     /// Streams every atypical record of `id` in day order.
@@ -207,12 +210,12 @@ impl DatasetStore {
         let paths: Vec<PathBuf> = (0..meta.n_days)
             .map(|d| self.atypical_path(id, d))
             .collect();
-        Ok(
-            ChainedScan::new(paths, stats, ScanKind::Atypical).map(|r| r.map(|rec| match rec {
+        Ok(ChainedScan::new(paths, stats, ScanKind::Atypical).map(|r| {
+            r.map(|rec| match rec {
                 Either::Atypical(a) => a,
                 Either::Raw(_) => unreachable!("atypical scan yielded raw record"),
-            })),
-        )
+            })
+        }))
     }
 
     /// Atypical partition paths covering global days `[first, first + n)`,
@@ -220,9 +223,9 @@ impl DatasetStore {
     pub fn atypical_paths_for_days(&self, first: u32, n: u32) -> Vec<PathBuf> {
         (first..first + n)
             .filter_map(|day| {
-                self.catalog.dataset_for_day(day).map(|meta| {
-                    self.atypical_path(meta.id, day - meta.first_day)
-                })
+                self.catalog
+                    .dataset_for_day(day)
+                    .map(|meta| self.atypical_path(meta.id, day - meta.first_day))
             })
             .collect()
     }
@@ -291,9 +294,7 @@ impl ChainedScan {
         match PartitionReader::open(&path, Arc::clone(&self.stats)) {
             Ok(reader) => {
                 self.current = Some(match self.kind {
-                    ScanKind::Raw => {
-                        Box::new(reader.raw_records().map(|r| r.map(Either::Raw)))
-                    }
+                    ScanKind::Raw => Box::new(reader.raw_records().map(|r| r.map(Either::Raw))),
                     ScanKind::Atypical => {
                         Box::new(reader.atypical_records().map(|r| r.map(Either::Atypical)))
                     }
@@ -454,7 +455,10 @@ mod tests {
             .collect();
         assert_eq!(tail.len(), 10);
         // An entirely unregistered range yields nothing.
-        assert_eq!(store.scan_atypical_days(50, 5, IoStats::shared()).count(), 0);
+        assert_eq!(
+            store.scan_atypical_days(50, 5, IoStats::shared()).count(),
+            0
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Streaming partition writer.
 
+use crate::crc::crc32;
 use crate::format::{
     encode_atypical, encode_header, encode_raw, RecordKind, RECORDS_PER_BLOCK, RECORD_SIZE,
 };
-use crate::crc::crc32;
 use bytes::BufMut;
 use cps_core::{AtypicalRecord, RawRecord, Result};
 use std::fs::File;
@@ -171,7 +171,13 @@ mod tests {
         }
 
         fn arb_raw() -> impl Strategy<Value = RawRecord> {
-            (0u32..100_000, 0u32..10_000_000, 0.0f32..120.0, 0u16..5000, 0u16..1000)
+            (
+                0u32..100_000,
+                0u32..10_000_000,
+                0.0f32..120.0,
+                0u16..5000,
+                0u16..1000,
+            )
                 .prop_map(|(s, w, speed, flow, occ)| {
                     RawRecord::new(SensorId::new(s), TimeWindow::new(w), speed, flow, occ)
                 })

@@ -22,9 +22,7 @@ fn main() {
     eprintln!("building one month of micro-clusters…");
     let generated: Vec<_> = (0..DAYS).map(|d| sim.generate_day(d)).collect();
     let built = build_forest_from_records(
-        generated
-            .iter()
-            .map(|g| (g.day, sim.atypical_day(g.day))),
+        generated.iter().map(|g| (g.day, sim.atypical_day(g.day))),
         sim.network(),
         &params,
         spec,
@@ -34,8 +32,7 @@ fn main() {
 
     // --- Monthly summary through the calendar tree -----------------------
     let monthly = forest.month(0).to_vec();
-    let (sig, trivial) =
-        partition_significant(monthly, &params, spec.day_range(0, 30), n_sensors);
+    let (sig, trivial) = partition_significant(monthly, &params, spec.day_range(0, 30), n_sensors);
     println!(
         "month 0: {} macro-clusters ({} significant, {} trivial)",
         sig.len() + trivial.len(),
@@ -48,18 +45,17 @@ fn main() {
 
     // --- The weekday/weekend aggregation path ----------------------------
     println!("\nweekday vs weekend trees:");
-    for (label, clusters) in forest.integrate_by_path(0, DAYS, AggregationPath::WeekdayWeekend)
-    {
+    for (label, clusters) in forest.integrate_by_path(0, DAYS, AggregationPath::WeekdayWeekend) {
         let total: cps_core::Severity = clusters.iter().map(|c| c.severity()).sum();
-        println!("  {label}: {} clusters, {total} total severity", clusters.len());
+        println!(
+            "  {label}: {} clusters, {total} total severity",
+            clusters.len()
+        );
     }
 
     // --- Context joins: weather and accidents ----------------------------
-    let weather = DayLabels::from_pairs(
-        generated
-            .iter()
-            .map(|g| (g.day, g.weather.weather.label())),
-    );
+    let weather =
+        DayLabels::from_pairs(generated.iter().map(|g| (g.day, g.weather.weather.label())));
     let accidents: Vec<PointEvent> = generated
         .iter()
         .flat_map(|g| g.accidents.iter())
@@ -85,6 +81,9 @@ fn main() {
     for (sensor, risk) in profile.top_sensors(8, 5) {
         let info = sim.network().sensor(sensor);
         let highway = &sim.network().highways()[info.highway.0 as usize].name;
-        println!("  {sensor} on {highway} mile {:.1}: risk {risk:.1}", info.mile_post);
+        println!(
+            "  {sensor} on {highway} mile {:.1}: risk {risk:.1}",
+            info.mile_post
+        );
     }
 }

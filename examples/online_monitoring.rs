@@ -1,54 +1,74 @@
-//! Live operations-room view: the streaming extractor consumes the sensor
-//! feed window by window and reports each congestion minutes after it
-//! dissipates — no end-of-day batch.
+//! Live operations-room view, scaled out: the sharded monitoring service
+//! consumes a day of readings, reconciles events across shard boundaries,
+//! and answers red-zone-guided significance queries while ingesting —
+//! no end-of-day batch.
 //!
 //! ```text
 //! cargo run --release --example online_monitoring
 //! ```
 
-use atypical::online::OnlineExtractor;
 use cps_core::record::AtypicalCriterion;
-use cps_core::{AtypicalRecord, Params};
+use cps_core::AtypicalRecord;
+use cps_monitor::{MonitorConfig, MonitorService};
 use cps_sim::{Scale, SimConfig, TrafficSim};
+use std::sync::Arc;
 
 fn main() {
     let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, 42));
     let spec = sim.config().spec;
     let criterion = sim.criterion();
-    let params = Params::paper_defaults();
+    let config = MonitorConfig {
+        shards: 4,
+        spec,
+        ..MonitorConfig::default()
+    };
 
     // One day of readings arriving in window order (the live feed).
     let mut feed = sim.generate_day(0).raw;
     feed.sort_unstable_by_key(|r| (r.window, r.sensor));
 
-    let mut extractor = OnlineExtractor::new(sim.network(), params, spec);
+    let network = Arc::new(sim.network().clone());
+    let mut service = MonitorService::start(&config, network).expect("service starts");
+    let handle = service.handle();
+    println!(
+        "monitoring with {} shards ({} boundary sensors)",
+        config.shards,
+        service.shard_map().boundary_sensor_count()
+    );
+
     let mut reported = 0;
-    let mut current_window = None;
-
     for reading in &feed {
-        if current_window != Some(reading.window) {
-            // A new window begins: first surface everything that sealed.
-            for cluster in extractor.drain_sealed() {
-                reported += 1;
-                println!(
-                    "[{}] cluster closed: {}",
-                    spec.clock_label(reading.window),
-                    cluster.describe(spec)
-                );
-            }
-            current_window = Some(reading.window);
-        }
         if let Some(severity) = criterion.classify(reading) {
-            extractor.push(AtypicalRecord::new(reading.sensor, reading.window, severity));
+            let record = AtypicalRecord::new(reading.sensor, reading.window, severity);
+            service.ingest(record).expect("feed is window-ordered");
         } else {
-            extractor.advance_to(reading.window);
+            // Quiet readings still move the shard clocks forward so open
+            // events seal on time.
+            service.advance_to(reading.window);
+        }
+
+        // Surface newly reconciled micro-clusters as they finalize.
+        let finalized = handle.metrics().micro_clusters;
+        if finalized > reported {
+            println!(
+                "[{}] {} atypical event(s) on the board",
+                spec.clock_label(reading.window),
+                finalized
+            );
+            reported = finalized;
         }
     }
 
-    // End of day: close out whatever is still open.
-    for cluster in extractor.finish() {
-        reported += 1;
-        println!("[end of day] cluster closed: {}", cluster.describe(spec));
+    // End of day: drain the pipeline, then query like an analyst would.
+    let metrics = service.finish();
+    println!("\n{metrics}\n");
+
+    let result = handle.query_guided(0, 1).expect("guided query");
+    println!(
+        "guided day query: {} of {} micro-clusters survived {} red regions",
+        result.input_clusters, result.candidate_clusters, result.num_red_regions
+    );
+    for cluster in result.significant() {
+        println!("  significant: {}", cluster.describe(spec));
     }
-    println!("\n{reported} atypical events reported online");
 }

@@ -36,8 +36,7 @@ fn cube_and_forest_totals_agree() {
     // The forest must see every record too (disable the trust filter so the
     // two models aggregate identical record sets).
     let params = Params::paper_defaults().with_min_event_records(1);
-    let built =
-        build_forest_from_store(&store, &datasets, sim.network(), &params, io).unwrap();
+    let built = build_forest_from_store(&store, &datasets, sim.network(), &params, io).unwrap();
 
     let cube_total = mc.cube.grand_total().total;
     let forest_total: Severity = (0..5)
@@ -59,8 +58,7 @@ fn redzone_f_matches_cube_region_rollup() {
     let params = Params::paper_defaults().with_min_event_records(1);
 
     let mut mc = build_mc(&store, &datasets, hierarchy.clone(), io.clone()).unwrap();
-    let built =
-        build_forest_from_store(&store, &datasets, sim.network(), &params, io).unwrap();
+    let built = build_forest_from_store(&store, &datasets, sim.network(), &params, io).unwrap();
     let forest = built.forest;
 
     let spec = forest.spec();
@@ -86,8 +84,7 @@ fn redzone_f_matches_cube_region_rollup() {
         );
     }
     // Regions absent from the cube must have zero F.
-    let covered: std::collections::HashSet<u32> =
-        cuboid.keys().map(|k| k.region.raw()).collect();
+    let covered: std::collections::HashSet<u32> = cuboid.keys().map(|k| k.region.raw()).collect();
     for r in 0..hierarchy.finest().num_regions() {
         if !covered.contains(&r) {
             assert_eq!(zones.f_value(cps_core::RegionId::new(r)), Severity::ZERO);

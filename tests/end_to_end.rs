@@ -33,9 +33,14 @@ fn full_pipeline_tiny_archive() {
     // Build the forest from disk.
     let params = Params::paper_defaults();
     let io = IoStats::shared();
-    let built =
-        build_forest_from_store(&store, &[DatasetId::new(1)], sim.network(), &params, io.clone())
-            .unwrap();
+    let built = build_forest_from_store(
+        &store,
+        &[DatasetId::new(1)],
+        sim.network(),
+        &params,
+        io.clone(),
+    )
+    .unwrap();
     assert_eq!(built.forest.days().count(), 7);
     assert!(built.stats.n_micro_clusters > 0);
     assert_eq!(

@@ -99,8 +99,7 @@ fn recurring_corridor_appears_every_weekday_and_merges() {
         top.merged_count
     );
     // Its temporal feature covers several distinct days.
-    let days: std::collections::HashSet<u32> =
-        top.tf.keys().map(|w| spec.day_of(w)).collect();
+    let days: std::collections::HashSet<u32> = top.tf.keys().map(|w| spec.day_of(w)).collect();
     assert!(days.len() >= 4, "covers {} days", days.len());
 }
 

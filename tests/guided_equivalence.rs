@@ -70,7 +70,10 @@ fn final_check_makes_gui_precision_one() {
     let partition = UniformGrid::over(sim.network(), 3.0).partition(sim.network());
     let engine = QueryEngine::new(sim.network(), &partition, params).with_final_check();
     let result = engine.execute(&mut forest, &Query::days(0, 7), Strategy::Gui);
-    assert!(result.macros.iter().all(|c| c.severity() > result.threshold));
+    assert!(result
+        .macros
+        .iter()
+        .all(|c| c.severity() > result.threshold));
 }
 
 #[test]

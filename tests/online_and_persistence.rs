@@ -40,7 +40,7 @@ fn streamed_forest_answers_queries_like_batch_forest() {
         let mut records = sim.atypical_day(day);
         records.sort_unstable_by_key(|r| (r.window, r.sensor));
         for r in records {
-            online.push(r);
+            online.push(r).expect("feed is window-ordered");
         }
     }
     let mut stream_forest = AtypicalForest::new(spec, params);
@@ -98,9 +98,7 @@ fn persisted_forest_reloads_and_answers_identically() {
     let store = ForestStore::open(&root).unwrap();
     assert_eq!(store.save_forest_days(&original).unwrap(), 5);
     // Materialize a week level too.
-    store
-        .save(ForestLevel::Week, 0, original.week(0))
-        .unwrap();
+    store.save(ForestLevel::Week, 0, original.week(0)).unwrap();
 
     let mut reloaded = store.load_forest(spec, params).unwrap();
     assert_eq!(reloaded.num_micro_clusters(), original.num_micro_clusters());
@@ -112,9 +110,8 @@ fn persisted_forest_reloads_and_answers_identically() {
     let b = engine.execute(&mut reloaded, &q, Strategy::Gui);
     assert_eq!(a.input_clusters, b.input_clusters);
     assert_eq!(a.macros.len(), b.macros.len());
-    let sev = |r: &atypical::QueryResult| -> Severity {
-        r.macros.iter().map(|c| c.severity()).sum()
-    };
+    let sev =
+        |r: &atypical::QueryResult| -> Severity { r.macros.iter().map(|c| c.severity()).sum() };
     assert_eq!(sev(&a), sev(&b));
     // The materialized week level round-trips too.
     let week = store.load(ForestLevel::Week, 0).unwrap().unwrap();
@@ -135,15 +132,11 @@ fn online_extractor_reports_long_events_once() {
     let mut online = OnlineExtractor::new(sim.network(), params, spec);
     let mut sealed_total = 0;
     for r in records {
-        online.push(r);
+        online.push(r).expect("feed is window-ordered");
         sealed_total += online.drain_sealed().len();
     }
     let rest = online.finish();
-    let batch = build_forest_from_records(
-        vec![(0, sim.atypical_day(0))],
-        sim.network(),
-        &params,
-        spec,
-    );
+    let batch =
+        build_forest_from_records(vec![(0, sim.atypical_day(0))], sim.network(), &params, spec);
     assert_eq!(sealed_total + rest.len(), batch.forest.day(0).len());
 }

@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote`) `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` generating impls of the stand-in `serde`
+//! crate's `Value`-tree traits. Supported shapes — the ones this workspace
+//! uses — follow serde's defaults:
+//!
+//! * named-field structs → JSON objects,
+//! * newtype structs → transparent (the inner value),
+//! * other tuple structs → arrays,
+//! * unit structs → `null`,
+//! * enums → externally tagged (`"Variant"` for unit variants,
+//!   `{"Variant": payload}` otherwise),
+//! * generic parameters get a `+ serde::Serialize`/`Deserialize` bound.
+//!
+//! Field attributes (`#[serde(...)]`) are **not** supported and are
+//! rejected at expansion time rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Raw generic parameter chunks, e.g. `"K : Copy + Ord"`.
+    generic_chunks: Vec<String>,
+    /// Just the parameter names, e.g. `"K"`.
+    generic_names: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(tree: &TokenTree, c: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tree: &TokenTree, s: &str) -> bool {
+    matches!(tree, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past leading attributes (`#[...]`, including doc comments) and
+/// visibility qualifiers. Panics on `#[serde(...)]`, which we don't honor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let body = g.stream().to_string();
+                assert!(
+                    !body.starts_with("serde"),
+                    "the offline serde_derive stand-in does not support #[serde(...)] attributes"
+                );
+                i += 2;
+                continue;
+            }
+        }
+        if i < tokens.len() && is_ident(&tokens[i], "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+/// Splits a token run at top-level commas, tracking `<`/`>` depth (groups
+/// are already atomic trees, so only angle brackets need counting).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if depth == 0 && is_punct(t, ',') {
+            chunks.push(std::mem::take(&mut current));
+            continue;
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses named fields from the body of a brace group.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+/// Counts fields of a tuple body (paren group contents).
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    split_top_level(body)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(body)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = skip_attrs_and_vis(&chunk, 0);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, found {other}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Tuple(count_tuple_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Named(parse_named_fields(&inner))
+                }
+                _ => VariantKind::Unit, // unit variant (any `= disc` was split off)
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!(
+            "derive target must be a struct or enum, found {}",
+            tokens[i]
+        );
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let mut generic_chunks = Vec::new();
+    let mut generic_names = Vec::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        let mut depth = 1i32;
+        let mut inner = Vec::new();
+        i += 1;
+        while depth > 0 {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            inner.push(tokens[i].clone());
+            i += 1;
+        }
+        for chunk in split_top_level(&inner) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let pname = match &chunk[0] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("unsupported generic parameter starting with {other}"),
+            };
+            assert!(
+                pname != "const",
+                "const generics are not supported by the offline serde_derive stand-in"
+            );
+            generic_names.push(pname);
+            generic_chunks.push(tokens_to_string(&chunk));
+        }
+    }
+
+    assert!(
+        !tokens.get(i).is_some_and(|t| is_ident(t, "where")),
+        "where-clauses are not supported by the offline serde_derive stand-in"
+    );
+
+    let kind = if is_enum {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Enum(parse_variants(&inner))
+            }
+            other => panic!("expected enum body, found {other}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Tuple(count_tuple_fields(&inner))
+            }
+            Some(t) if is_punct(t, ';') => Kind::Unit,
+            other => panic!("expected struct body, found {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generic_chunks,
+        generic_names,
+        kind,
+    }
+}
+
+/// `impl<K: Copy + Ord + serde::Trait> Trait for Name<K>` header parts.
+fn impl_header(item: &Item, trait_path: &str) -> (String, String) {
+    let impl_generics = if item.generic_chunks.is_empty() {
+        String::new()
+    } else {
+        let bounded: Vec<String> = item
+            .generic_chunks
+            .iter()
+            .map(|c| {
+                if c.contains(':') {
+                    format!("{c} + {trait_path}")
+                } else {
+                    format!("{c} : {trait_path}")
+                }
+            })
+            .collect();
+        format!("<{}>", bounded.join(", "))
+    };
+    let ty_generics = if item.generic_names.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generic_names.join(", "))
+    };
+    (impl_generics, ty_generics)
+}
+
+/// Implements `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty_generics) = impl_header(&item, "::serde::Serialize");
+    let name = &item.name;
+
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("f{k}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Implements `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty_generics) = impl_header(&item, "::serde::Deserialize");
+    let name = &item.name;
+
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(entries, \"{f}\"))\
+                         .map_err(|e| ::serde::DeError::new(format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = value.as_object().ok_or_else(|| ::serde::DeError::expected(\"{name} object\", value))?;\n\
+                 Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => "Ok(Self(::serde::Deserialize::from_value(value)?))".to_string(),
+        Kind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::from_value(&items[{idx}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::DeError::expected(\"{name} array\", value))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError::new(format!(\"{name}: expected {n} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok(Self({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Unit => "Ok(Self)".to_string(),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&items[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"{name}::{vn} array\", payload))?;\n\
+                                     if items.len() != {n} {{ return Err(::serde::DeError::new(\"{name}::{vn}: wrong arity\".to_string())); }}\n\
+                                     return Ok({name}::{vn}({}));\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::Deserialize::from_value(::serde::get_field(entries, \"{f}\"))?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let entries = payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"{name}::{vn} object\", payload))?;\n\
+                                     return Ok({name}::{vn} {{ {} }});\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(tag) = value {{\n\
+                     match tag.as_str() {{ {unit} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(entries) = value.as_object() {{\n\
+                     if let Some((tag, payload)) = entries.first() {{\n\
+                         match tag.as_str() {{ {tagged} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::new(format!(\"unknown {name} variant in {{value:?}}\")))",
+                unit = unit_arms.join(" "),
+                tagged = tagged_arms.join(" ")
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
