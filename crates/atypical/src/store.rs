@@ -22,7 +22,8 @@ use crate::feature::{SpatialFeature, TemporalFeature};
 use bytes::{Buf, BufMut};
 use cps_core::{ClusterId, CpsError, Result, SensorId, Severity, TimeWindow};
 use cps_storage::crc::crc32;
-use std::io::{Read, Write};
+use cps_storage::Io;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const MAGIC: [u8; 4] = *b"ACF1";
@@ -85,8 +86,18 @@ fn decode_cluster(buf: &mut &[u8]) -> Result<AtypicalCluster> {
 
 /// Writes a cluster set to `path` (atomically via a temp file + rename).
 pub fn write_clusters(path: &Path, clusters: &[AtypicalCluster]) -> Result<()> {
+    write_clusters_with(&Io::real(), path, clusters)
+}
+
+/// [`write_clusters`] through an explicit I/O backend.
+///
+/// The write protocol is: create temp file, write header, write payload,
+/// fsync, rename over `path`. Each step is one backend operation, so a
+/// fault-injecting backend can crash the protocol at every point and a
+/// recovery test can check the absent-or-complete guarantee.
+pub fn write_clusters_with(io: &Io, path: &Path, clusters: &[AtypicalCluster]) -> Result<()> {
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+        io.create_dir_all(parent)?;
     }
     let mut payload = Vec::new();
     for c in clusters {
@@ -99,19 +110,23 @@ pub fn write_clusters(path: &Path, clusters: &[AtypicalCluster]) -> Result<()> {
 
     let tmp = path.with_extension("tmp");
     {
-        let mut f = std::fs::File::create(&tmp)?;
+        let mut f = io.create(&tmp)?;
         f.write_all(&header)?;
         f.write_all(&payload)?;
-        f.sync_all()?;
+        f.sync()?;
     }
-    std::fs::rename(&tmp, path)?;
+    io.rename(&tmp, path)?;
     Ok(())
 }
 
 /// Reads a cluster set from `path`, verifying the checksum.
 pub fn read_clusters(path: &Path) -> Result<Vec<AtypicalCluster>> {
-    let mut raw = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    read_clusters_with(&Io::real(), path)
+}
+
+/// [`read_clusters`] through an explicit I/O backend.
+pub fn read_clusters_with(io: &Io, path: &Path) -> Result<Vec<AtypicalCluster>> {
+    let raw = io.read_to_vec(path)?;
     if raw.len() < 12 || raw[..4] != MAGIC {
         return Err(CpsError::corrupt(
             path.display().to_string(),
@@ -169,14 +184,21 @@ impl ForestLevel {
 /// Layout: `<root>/clusters/<level>-<bucket>.acf`.
 pub struct ForestStore {
     root: PathBuf,
+    io: Io,
 }
 
 impl ForestStore {
     /// Opens (creating if needed) a forest store under `root`.
     pub fn open(root: &Path) -> Result<Self> {
-        std::fs::create_dir_all(root.join("clusters"))?;
+        Self::open_with(root, Io::real())
+    }
+
+    /// Opens a forest store whose file operations go through `io`.
+    pub fn open_with(root: &Path, io: Io) -> Result<Self> {
+        io.create_dir_all(&root.join("clusters"))?;
         Ok(Self {
             root: root.to_owned(),
+            io,
         })
     }
 
@@ -199,7 +221,7 @@ impl ForestStore {
         bucket: u32,
         clusters: &[AtypicalCluster],
     ) -> Result<()> {
-        write_clusters(&self.path(level, bucket), clusters)
+        write_clusters_with(&self.io, &self.path(level, bucket), clusters)
     }
 
     /// Loads one bucket, or `None` if it was never materialized.
@@ -208,7 +230,7 @@ impl ForestStore {
         if !path.exists() {
             return Ok(None);
         }
-        read_clusters(&path).map(Some)
+        read_clusters_with(&self.io, &path).map(Some)
     }
 
     /// Whether a bucket is materialized.

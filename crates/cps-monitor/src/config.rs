@@ -32,6 +32,43 @@ pub enum OverflowPolicy {
     Drop,
 }
 
+/// Kill one shard's worker thread after it has processed a fixed number
+/// of records (deterministic: the count is per-shard, not global).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerKill {
+    /// Shard whose worker dies.
+    pub shard: usize,
+    /// Records the worker processes before exiting.
+    pub after_records: u64,
+}
+
+/// Deterministically drop a contiguous burst of ingested records,
+/// regardless of channel occupancy — simulates a sustained overflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DropBurst {
+    /// Zero-based index (in ingest order) of the first dropped record.
+    pub at_record: u64,
+    /// Number of consecutive records dropped.
+    pub len: u64,
+}
+
+/// Deterministic fault hooks for the test harness.
+///
+/// Defaults to no faults and is not part of the TOML config surface: the
+/// hooks exist so `cps-testkit` can exercise worker death, drop
+/// accounting, and scheduling perturbation without nondeterministic
+/// thread timing. Production configs never set these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Kill one worker mid-stream.
+    pub kill_worker: Option<WorkerKill>,
+    /// Drop a contiguous burst of records at ingest.
+    pub drop_burst: Option<DropBurst>,
+    /// Seed for per-worker scheduling jitter (tiny random sleeps) so a
+    /// seeded test can perturb worker/merger interleaving reproducibly.
+    pub jitter_seed: Option<u64>,
+}
+
 /// Replay source for the binary and benchmarks: a simulated deployment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReplayConfig {
@@ -73,6 +110,9 @@ pub struct MonitorConfig {
     pub snapshot_dir: Option<PathBuf>,
     /// Replay source used by the `cps-monitor` binary.
     pub replay: ReplayConfig,
+    /// Deterministic fault hooks; always [`FaultConfig::default`] (no
+    /// faults) outside the test harness.
+    pub faults: FaultConfig,
 }
 
 impl Default for MonitorConfig {
@@ -86,6 +126,7 @@ impl Default for MonitorConfig {
             red_cell_miles: 2.0,
             snapshot_dir: None,
             replay: ReplayConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -152,6 +193,14 @@ impl MonitorConfig {
         }
         if self.red_cell_miles <= 0.0 || self.red_cell_miles.is_nan() {
             return Err("red_cell_miles must be positive".to_string());
+        }
+        if let Some(kill) = self.faults.kill_worker {
+            if kill.shard >= self.shards {
+                return Err(format!(
+                    "faults.kill_worker: shard {} out of range (shards = {})",
+                    kill.shard, self.shards
+                ));
+            }
         }
         self.params.validate()
     }

@@ -1,0 +1,64 @@
+//! Typed errors surfaced by the ingest path.
+
+use atypical::online::OutOfOrderRecord;
+use std::fmt;
+
+/// An ingest-path failure. Both variants are recoverable: the service
+/// keeps running and the caller decides whether to retry, skip, or stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The record's window regressed behind the ingest clock. Carries the
+    /// shard the record would have been routed to plus the rejected record
+    /// and the clock it regressed behind.
+    OutOfOrder {
+        /// Shard that owns the record's sensor.
+        shard: usize,
+        /// The rejected record and the current ingest window.
+        cause: OutOfOrderRecord,
+    },
+    /// The destination shard's worker thread is no longer running. The
+    /// service degrades — other shards keep ingesting and every handle
+    /// stays valid — but records routed to this shard are lost.
+    WorkerDied {
+        /// Shard whose worker terminated.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::OutOfOrder { shard, cause } => {
+                write!(f, "shard {shard}: {cause}")
+            }
+            MonitorError::WorkerDied { shard } => {
+                write!(f, "shard {shard}: worker thread terminated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::{AtypicalRecord, SensorId, Severity, TimeWindow};
+
+    #[test]
+    fn display_carries_context() {
+        let cause = OutOfOrderRecord {
+            record: AtypicalRecord::new(
+                SensorId::new(7),
+                TimeWindow::new(10),
+                Severity::from_secs(60),
+            ),
+            current_window: TimeWindow::new(12),
+        };
+        let text = MonitorError::OutOfOrder { shard: 3, cause }.to_string();
+        assert!(text.starts_with("shard 3:"), "{text}");
+        let text = MonitorError::WorkerDied { shard: 1 }.to_string();
+        assert!(text.contains("shard 1"), "{text}");
+        assert!(text.contains("terminated"), "{text}");
+    }
+}

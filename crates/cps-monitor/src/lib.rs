@@ -19,13 +19,15 @@
 //! and red-zone-guided window queries over the live + persisted levels.
 
 pub mod config;
+pub mod error;
 mod live;
 mod merger;
 pub mod metrics;
 pub mod service;
 pub mod shard;
 
-pub use config::{MonitorConfig, OverflowPolicy, ReplayConfig};
+pub use config::{DropBurst, FaultConfig, MonitorConfig, OverflowPolicy, ReplayConfig, WorkerKill};
+pub use error::MonitorError;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use service::{GuidedQuery, MonitorHandle, MonitorService};
 pub use shard::ShardMap;

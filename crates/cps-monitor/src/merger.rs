@@ -132,9 +132,17 @@ impl Merger {
             self.finalize_ready();
             self.persist_complete_days();
         }
-        // All senders dropped after every shard reported Done: no more
-        // input exists, so every pending component is complete.
-        debug_assert!(self.done.iter().all(|&d| d));
+        // All senders dropped: no more input exists (a shard that died
+        // without reporting Done still closed its channel when its thread
+        // exited), so every pending component is complete. A missing Done
+        // at this point *is* a worker death — record it here so deaths the
+        // ingest path never observed (all its sends were buffered) are
+        // still counted deterministically.
+        for shard in 0..self.map.num_shards() {
+            if !self.done[shard] {
+                self.metrics().mark_worker_dead(shard);
+            }
+        }
         self.finalize_all();
         self.persist_complete_days();
     }

@@ -1,7 +1,7 @@
 //! Service counters and the operator-facing [`MetricsSnapshot`].
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Lock-free counters shared by the ingest path, workers, and merger.
@@ -32,7 +32,14 @@ pub struct Metrics {
     pub days_persisted: AtomicU64,
     /// Bytes written to the snapshot store.
     pub snapshot_bytes: AtomicU64,
+    /// Shard workers observed dead (send to their channel failed, or
+    /// their thread panicked). The service degrades but keeps running.
+    pub workers_dead: AtomicU64,
     queue_depths: Vec<AtomicUsize>,
+    /// Per-shard dead flags; set-once through [`Metrics::mark_worker_dead`]
+    /// so concurrent observers (ingest, merger, `finish`) count each death
+    /// exactly once.
+    dead_flags: Vec<AtomicBool>,
 }
 
 impl Metrics {
@@ -49,8 +56,34 @@ impl Metrics {
             macro_clusters: AtomicU64::new(0),
             days_persisted: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
+            workers_dead: AtomicU64::new(0),
             queue_depths: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
+            dead_flags: (0..num_shards).map(|_| AtomicBool::new(false)).collect(),
         }
+    }
+
+    /// Marks one shard's worker dead. Idempotent: the first caller (the
+    /// ingest path on a failed send, the merger on a missing `Done`, or
+    /// `finish` on a panicked join) increments `workers_dead`; later calls
+    /// are no-ops. Returns whether this call was the first.
+    pub fn mark_worker_dead(&self, shard: usize) -> bool {
+        let first = !self.dead_flags[shard].swap(true, Ordering::Relaxed);
+        if first {
+            self.workers_dead.fetch_add(1, Ordering::Relaxed);
+        }
+        first
+    }
+
+    /// Whether `shard`'s worker has been marked dead.
+    pub fn worker_dead(&self, shard: usize) -> bool {
+        self.dead_flags[shard].load(Ordering::Relaxed)
+    }
+
+    /// Shards whose worker has been marked dead.
+    pub fn dead_shards(&self) -> Vec<usize> {
+        (0..self.dead_flags.len())
+            .filter(|&s| self.worker_dead(s))
+            .collect()
     }
 
     /// Updates one shard's queue-depth gauge (called by its worker).
@@ -79,6 +112,8 @@ impl Metrics {
             macro_clusters: self.macro_clusters.load(Ordering::Relaxed),
             days_persisted: self.days_persisted.load(Ordering::Relaxed),
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            workers_dead: self.workers_dead.load(Ordering::Relaxed),
+            dead_shards: self.dead_shards(),
             queue_depths: self
                 .queue_depths
                 .iter()
@@ -104,6 +139,8 @@ pub struct MetricsSnapshot {
     pub macro_clusters: u64,
     pub days_persisted: u64,
     pub snapshot_bytes: u64,
+    pub workers_dead: u64,
+    pub dead_shards: Vec<usize>,
     pub queue_depths: Vec<usize>,
     pub elapsed: Duration,
 }
@@ -131,6 +168,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "days persisted      {:>10}  ({} bytes)",
             self.days_persisted, self.snapshot_bytes
+        )?;
+        writeln!(
+            f,
+            "workers dead        {:>10}  {:?}",
+            self.workers_dead, self.dead_shards
         )?;
         write!(f, "queue depths        {:?}", self.queue_depths)
     }

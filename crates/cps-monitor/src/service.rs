@@ -13,7 +13,8 @@
 //! exerts backpressure on the producer, with [`OverflowPolicy::Drop`] the
 //! record is dropped and counted.
 
-use crate::config::{MonitorConfig, OverflowPolicy};
+use crate::config::{FaultConfig, MonitorConfig, OverflowPolicy};
+use crate::error::MonitorError;
 use crate::live::LiveState;
 use crate::merger::{Merger, MergerMsg};
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -61,10 +62,26 @@ pub struct MonitorService {
     shared: Arc<SharedState>,
     map: Arc<ShardMap>,
     overflow: OverflowPolicy,
+    faults: FaultConfig,
     senders: Vec<Sender<WorkerMsg>>,
     workers: Vec<JoinHandle<()>>,
     merger: Option<JoinHandle<()>>,
     current_window: Option<TimeWindow>,
+    /// Shards whose worker was observed dead (a channel send failed or the
+    /// thread panicked); marked once, counted once in the metrics.
+    dead: Vec<bool>,
+    /// Records seen by `ingest` so far, in feed order (drives the
+    /// deterministic drop-burst hook).
+    ingest_seq: u64,
+}
+
+/// SplitMix64 step, used for the deterministic scheduling jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl MonitorService {
@@ -118,15 +135,42 @@ impl MonitorService {
                 shared.clone(),
                 merger_tx.clone(),
             );
+            let kill_after = config
+                .faults
+                .kill_worker
+                .filter(|k| k.shard == shard)
+                .map(|k| k.after_records);
+            let mut jitter = config
+                .faults
+                .jitter_seed
+                .map(|seed| seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let worker = std::thread::Builder::new()
                 .name(format!("cps-monitor-shard-{shard}"))
                 .spawn(move || {
                     let mut extractor = OnlineExtractor::new(&network, params, spec);
                     extractor.retain_raw_events(true);
+                    let mut records_processed = 0u64;
                     while let Ok(msg) = rx.recv() {
                         shared.metrics.set_queue_depth(shard, rx.len());
+                        if let Some(state) = jitter.as_mut() {
+                            // Perturb worker/merger interleaving
+                            // reproducibly: occasional microsecond sleeps
+                            // driven by the per-shard seed.
+                            let x = splitmix64(state);
+                            if x.is_multiple_of(7) {
+                                std::thread::sleep(std::time::Duration::from_micros(x % 50));
+                            }
+                        }
                         match msg {
                             WorkerMsg::Record(record) => {
+                                if kill_after.is_some_and(|n| records_processed >= n) {
+                                    // Fault hook: die abruptly — skip the
+                                    // drain/Done epilogue exactly as a
+                                    // crashed thread would.
+                                    shared.metrics.set_queue_depth(shard, 0);
+                                    return;
+                                }
+                                records_processed += 1;
                                 // The service's ingest clock already
                                 // rejected regressing windows, so this
                                 // cannot fail; stay defensive anyway.
@@ -166,6 +210,9 @@ impl MonitorService {
             shared,
             map,
             overflow: config.overflow,
+            faults: config.faults,
+            dead: vec![false; config.shards],
+            ingest_seq: 0,
             senders,
             workers,
             merger: Some(merger),
@@ -186,15 +233,23 @@ impl MonitorService {
     }
 
     /// Feeds one record. Returns `Ok(true)` if accepted, `Ok(false)` if
-    /// dropped by a full channel under [`OverflowPolicy::Drop`], and an
-    /// error if `record.window` regresses behind the ingest clock (the
-    /// per-shard extractors require a monotone window feed).
-    pub fn ingest(&mut self, record: AtypicalRecord) -> Result<bool, OutOfOrderRecord> {
+    /// dropped by a full channel under [`OverflowPolicy::Drop`] (or the
+    /// drop-burst fault hook), and a typed [`MonitorError`] if
+    /// `record.window` regresses behind the ingest clock (the per-shard
+    /// extractors require a monotone window feed) or the destination
+    /// shard's worker has died. Both errors are recoverable: the service
+    /// keeps running and further in-order records to live shards are
+    /// accepted.
+    pub fn ingest(&mut self, record: AtypicalRecord) -> Result<bool, MonitorError> {
+        let shard = self.map.shard_of(record.sensor);
         match self.current_window {
             Some(current) if record.window < current => {
-                return Err(OutOfOrderRecord {
-                    record,
-                    current_window: current,
+                return Err(MonitorError::OutOfOrder {
+                    shard,
+                    cause: OutOfOrderRecord {
+                        record,
+                        current_window: current,
+                    },
                 });
             }
             Some(current) if record.window > current => self.broadcast_advance(record.window),
@@ -203,12 +258,30 @@ impl MonitorService {
         }
         self.current_window = Some(record.window);
 
-        let shard = self.map.shard_of(record.sensor);
+        // The drop-burst hook sits after the clock advance: a dropped
+        // record still moves every shard's clock, exactly like a record
+        // dropped by a full channel.
+        let seq = self.ingest_seq;
+        self.ingest_seq += 1;
+        if let Some(burst) = self.faults.drop_burst {
+            if seq >= burst.at_record && seq - burst.at_record < burst.len {
+                self.shared
+                    .metrics
+                    .records_dropped
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Ok(false);
+            }
+        }
+
+        if self.dead[shard] {
+            return Err(MonitorError::WorkerDied { shard });
+        }
         match self.overflow {
             OverflowPolicy::Block => {
-                self.senders[shard]
-                    .send(WorkerMsg::Record(record))
-                    .expect("shard worker terminated");
+                if self.senders[shard].send(WorkerMsg::Record(record)).is_err() {
+                    self.mark_dead(shard);
+                    return Err(MonitorError::WorkerDied { shard });
+                }
             }
             OverflowPolicy::Drop => match self.senders[shard].try_send(WorkerMsg::Record(record)) {
                 Ok(()) => {}
@@ -220,7 +293,8 @@ impl MonitorService {
                     return Ok(false);
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    panic!("shard worker terminated");
+                    self.mark_dead(shard);
+                    return Err(MonitorError::WorkerDied { shard });
                 }
             },
         }
@@ -241,20 +315,47 @@ impl MonitorService {
     }
 
     /// Window-advance broadcasts always block: dropping one would let a
-    /// shard's clock fall behind and stall finalization.
-    fn broadcast_advance(&self, window: TimeWindow) {
-        for tx in &self.senders {
-            tx.send(WorkerMsg::Advance(window))
-                .expect("shard worker terminated");
+    /// shard's clock fall behind and stall finalization. A dead shard is
+    /// skipped — its clock stays frozen, which keeps its unfinished days
+    /// live (and queryable) instead of persisting them incomplete.
+    fn broadcast_advance(&mut self, window: TimeWindow) {
+        for shard in 0..self.senders.len() {
+            if self.dead[shard] {
+                continue;
+            }
+            if self.senders[shard]
+                .send(WorkerMsg::Advance(window))
+                .is_err()
+            {
+                self.mark_dead(shard);
+            }
         }
     }
 
+    /// Records a shard's worker as dead; the shared metrics flag makes the
+    /// count exactly-once across ingest, the merger, and `finish`.
+    fn mark_dead(&mut self, shard: usize) {
+        if !self.dead[shard] {
+            self.dead[shard] = true;
+            self.shared.metrics.mark_worker_dead(shard);
+        }
+    }
+
+    /// Shards whose worker has been observed dead — by a failed channel
+    /// send, a missing merger `Done`, or a panicked join.
+    pub fn dead_shards(&self) -> Vec<usize> {
+        self.shared.metrics.dead_shards()
+    }
+
     /// Closes the feed, drains every shard, reconciles and persists what
-    /// remains, and returns the final metrics. Handles stay valid.
+    /// remains, and returns the final metrics. Handles stay valid. A
+    /// panicked worker is counted dead rather than re-panicking here.
     pub fn finish(mut self) -> MetricsSnapshot {
         self.senders.clear();
-        for worker in self.workers.drain(..) {
-            worker.join().expect("shard worker panicked");
+        for (shard, worker) in self.workers.drain(..).enumerate() {
+            if worker.join().is_err() {
+                self.shared.metrics.mark_worker_dead(shard);
+            }
         }
         if let Some(merger) = self.merger.take() {
             merger.join().expect("merger panicked");

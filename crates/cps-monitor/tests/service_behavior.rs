@@ -42,8 +42,14 @@ fn out_of_order_ingest_is_rejected_and_service_survives() {
     let err = service
         .ingest(earlier)
         .expect_err("regressing window must be rejected");
-    assert_eq!(err.record, earlier);
-    assert_eq!(err.current_window, later.window);
+    match err {
+        cps_monitor::MonitorError::OutOfOrder { shard, cause } => {
+            assert_eq!(shard, service.shard_map().shard_of(earlier.sensor));
+            assert_eq!(cause.record, earlier);
+            assert_eq!(cause.current_window, later.window);
+        }
+        other => panic!("wrong error variant: {other:?}"),
+    }
 
     // The rejected record left the pipeline intact.
     for &r in &records[records.len() / 2..] {

@@ -15,7 +15,9 @@
 //!   as *number of input clusters* and construction cost as scan volume, so
 //!   every read path is accounted,
 //! * [`cache`] — a block LRU so repeated scans of hot partitions (the online
-//!   query experiments) do not re-hit the filesystem.
+//!   query experiments) do not re-hit the filesystem,
+//! * [`io`] — the pluggable I/O backend every durable byte flows through;
+//!   `cps-testkit` swaps in a deterministic fault-injecting backend here.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -23,11 +25,13 @@
 pub mod cache;
 pub mod crc;
 pub mod format;
+pub mod io;
 pub mod iostats;
 pub mod reader;
 pub mod store;
 pub mod writer;
 
+pub use io::{Io, IoBackend, IoRead, IoWrite};
 pub use iostats::IoStats;
 pub use reader::PartitionReader;
 pub use store::{DatasetCatalog, DatasetMeta, DatasetStore};

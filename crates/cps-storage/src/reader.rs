@@ -5,17 +5,17 @@ use crate::format::{
     decode_atypical, decode_header, decode_raw, RecordKind, BLOCK_HEADER_SIZE, HEADER_SIZE,
     RECORD_SIZE,
 };
+use crate::io::{Io, IoRead};
 use crate::iostats::IoStats;
 use bytes::Buf;
 use cps_core::{AtypicalRecord, CpsError, RawRecord, Result};
-use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Reads one partition file sequentially.
 pub struct PartitionReader {
-    input: BufReader<File>,
+    input: BufReader<Box<dyn IoRead>>,
     kind: RecordKind,
     path: PathBuf,
     stats: Arc<IoStats>,
@@ -24,7 +24,12 @@ pub struct PartitionReader {
 impl PartitionReader {
     /// Opens a partition, validating its header.
     pub fn open(path: &Path, stats: Arc<IoStats>) -> Result<Self> {
-        let file = File::open(path)?;
+        Self::open_with(path, stats, &Io::real())
+    }
+
+    /// Opens a partition through an explicit [`Io`] backend.
+    pub fn open_with(path: &Path, stats: Arc<IoStats>, io: &Io) -> Result<Self> {
+        let file = io.open(path)?;
         let mut input = BufReader::with_capacity(1 << 20, file);
         let mut header = [0u8; HEADER_SIZE];
         input.read_exact(&mut header)?;

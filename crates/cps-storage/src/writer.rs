@@ -4,10 +4,10 @@ use crate::crc::crc32;
 use crate::format::{
     encode_atypical, encode_header, encode_raw, RecordKind, RECORDS_PER_BLOCK, RECORD_SIZE,
 };
+use crate::io::{Io, IoWrite};
 use bytes::BufMut;
 use cps_core::{AtypicalRecord, RawRecord, Result};
-use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::Path;
 
 /// Writes one partition file block by block.
@@ -16,7 +16,7 @@ use std::path::Path;
 /// dropping an unfinished writer loses at most the current block (the file
 /// stays readable up to the last complete block).
 pub struct PartitionWriter {
-    out: BufWriter<File>,
+    out: Box<dyn IoWrite>,
     kind: RecordKind,
     block: Vec<u8>,
     block_records: usize,
@@ -26,10 +26,18 @@ pub struct PartitionWriter {
 impl PartitionWriter {
     /// Creates (truncates) the partition at `path`.
     pub fn create(path: &Path, kind: RecordKind) -> Result<Self> {
+        Self::create_with(path, kind, &Io::real())
+    }
+
+    /// Creates the partition through an explicit [`Io`] backend.
+    ///
+    /// Each block header and block payload is issued as one `write`, so a
+    /// fault-injecting backend can fail or tear at exact block boundaries.
+    pub fn create_with(path: &Path, kind: RecordKind, io: &Io) -> Result<Self> {
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
+            io.create_dir_all(parent)?;
         }
-        let mut out = BufWriter::new(File::create(path)?);
+        let mut out = io.create(path)?;
         let mut header = Vec::with_capacity(crate::format::HEADER_SIZE);
         encode_header(kind, &mut header);
         out.write_all(&header)?;

@@ -1,0 +1,68 @@
+//! Order-free canonical form of a cluster set, for equivalence checks.
+//!
+//! Cluster IDs are assignment-order artifacts (different sharding or
+//! recovery orders assign different IDs to the same cluster), so
+//! equivalence is over the multiset of `(SF, TF)` contents: each cluster
+//! becomes its sorted feature entries, and the set is sorted.
+
+use atypical::AtypicalCluster;
+use cps_core::{SensorId, Severity, TimeWindow};
+
+/// One cluster stripped to its sorted SF and TF entries.
+pub type Canonical = (Vec<(u32, Severity)>, Vec<(u32, Severity)>);
+
+/// The order-free form of `clusters` — equal iff the cluster multisets
+/// are equal up to IDs.
+pub fn canonicalize(clusters: &[AtypicalCluster]) -> Vec<Canonical> {
+    let mut out: Vec<Canonical> = clusters
+        .iter()
+        .map(|c| {
+            let mut sf: Vec<(u32, Severity)> =
+                c.sf.iter()
+                    .map(|(s, sev): (SensorId, Severity)| (s.raw(), sev))
+                    .collect();
+            let mut tf: Vec<(u32, Severity)> =
+                c.tf.iter()
+                    .map(|(w, sev): (TimeWindow, Severity)| (w.raw(), sev))
+                    .collect();
+            sf.sort_unstable();
+            tf.sort_unstable();
+            (sf, tf)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atypical::feature::{SpatialFeature, TemporalFeature};
+    use cps_core::ClusterId;
+
+    fn cluster(id: u64, sensors: &[u32]) -> AtypicalCluster {
+        let sf: SpatialFeature = sensors
+            .iter()
+            .map(|&s| (SensorId::new(s), Severity::from_secs(60)))
+            .collect();
+        let tf: TemporalFeature = sensors
+            .iter()
+            .map(|&s| (TimeWindow::new(s), Severity::from_secs(60)))
+            .collect();
+        AtypicalCluster::new(ClusterId::new(id), sf, tf)
+    }
+
+    #[test]
+    fn ids_and_order_are_ignored() {
+        let a = vec![cluster(1, &[1, 2]), cluster(2, &[5])];
+        let b = vec![cluster(9, &[5]), cluster(4, &[1, 2])];
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn content_differences_are_detected() {
+        let a = vec![cluster(1, &[1, 2])];
+        let b = vec![cluster(1, &[1, 3])];
+        assert_ne!(canonicalize(&a), canonicalize(&b));
+    }
+}

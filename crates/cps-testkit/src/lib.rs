@@ -1,0 +1,36 @@
+//! # cps-testkit
+//!
+//! Deterministic fault-injection and crash-recovery harness for the
+//! atypical-cps workspace.
+//!
+//! The paper's guarantees are algebraic — micro-cluster merge is
+//! commutative and associative (Property 3), red-zone totals are
+//! distributive (Properties 4–5) — so correctness under faults is
+//! checkable *by equivalence*: any recovered or degraded run must produce
+//! clusters identical (or a verified prefix/accounted difference) to a
+//! clean batch run. This crate supplies the machinery:
+//!
+//! * [`fault`] — a [`cps_storage::IoBackend`] that injects EIO, torn
+//!   writes, crashes, and latency at the N-th I/O operation, records an
+//!   op log for exhaustive fault-point sweeps, and can simulate the
+//!   on-disk state after a power cut (including a lying-`fsync` mode),
+//! * [`seed`] — seeded-run harness: every randomized fault test prints
+//!   `CPS_FAULT_SEED=<seed>` on failure and is reproducible from it,
+//! * [`canonical`] — order-free cluster-set form for equivalence checks,
+//! * [`fixtures`] — shared simulated deployments and temp directories.
+//!
+//! The injection seams live in the production crates (`cps-storage::Io`,
+//! `cps_monitor::FaultConfig`); this crate only drives them, so the
+//! tests exercise the real write and ingest paths byte for byte.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod canonical;
+pub mod fault;
+pub mod fixtures;
+pub mod seed;
+
+pub use canonical::{canonicalize, Canonical};
+pub use fault::{DurabilityMode, FaultIo, FaultKind, FaultPlan, OpKind, OpRecord};
+pub use seed::{run_seeded, seed_for};

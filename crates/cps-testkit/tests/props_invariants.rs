@@ -1,0 +1,194 @@
+//! Seeded property suites for the paper's algebraic invariants: merge
+//! commutativity/associativity (Property 3), algebraic SF/TF aggregation
+//! (Property 2), guided-query safety (Properties 4–5), and cube roll-up
+//! consistency. Every suite derives its seed through the testkit harness
+//! and reproduces from the printed `CPS_FAULT_SEED` on failure.
+
+use atypical::eval::evaluate;
+use atypical::pipeline::build_forest_from_records;
+use atypical::{Query, QueryEngine, Strategy};
+use cps_core::measure::CountAndTotal;
+use cps_core::{AtypicalRecord, ClusterId, Params, SensorId, Severity, TimeWindow};
+use cps_cube::{SpatioTemporalCube, TemporalLevel};
+use cps_geo::grid::RegionHierarchy;
+use cps_geo::UniformGrid;
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use cps_testkit::fixtures::{cluster_from_records, random_cluster, tiny_day};
+use cps_testkit::{canonicalize, run_seeded};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROUNDS: usize = 32;
+
+/// Property 3: cluster merge is commutative — content-equal results for
+/// either operand order (IDs are assignment artifacts, excluded).
+#[test]
+fn merge_is_commutative() {
+    run_seeded("merge_is_commutative", |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for round in 0..ROUNDS {
+            let a = random_cluster(&mut rng, 1, 6);
+            let b = random_cluster(&mut rng, 2, 6);
+            let id = ClusterId::new(100);
+            assert_eq!(
+                canonicalize(&[a.merge(&b, id)]),
+                canonicalize(&[b.merge(&a, id)]),
+                "round {round}: merge is order-sensitive"
+            );
+        }
+    });
+}
+
+/// Property 3: cluster merge is associative.
+#[test]
+fn merge_is_associative() {
+    run_seeded("merge_is_associative", |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for round in 0..ROUNDS {
+            let a = random_cluster(&mut rng, 1, 6);
+            let b = random_cluster(&mut rng, 2, 6);
+            let c = random_cluster(&mut rng, 3, 6);
+            let id = ClusterId::new(100);
+            let left = a.merge(&b, id).merge(&c, id);
+            let right = a.merge(&b.merge(&c, id), id);
+            assert_eq!(
+                canonicalize(&[left]),
+                canonicalize(&[right]),
+                "round {round}: merge is not associative"
+            );
+        }
+    });
+}
+
+/// Property 2: SF/TF are algebraic — clustering any partition of a record
+/// set and merging the parts equals clustering the whole set at once.
+#[test]
+fn partitioned_aggregation_equals_recomputation() {
+    run_seeded("partitioned_aggregation_equals_recomputation", |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for round in 0..ROUNDS {
+            let n = rng.gen_range(2..40);
+            let records: Vec<AtypicalRecord> = (0..n)
+                .map(|_| {
+                    AtypicalRecord::new(
+                        SensorId::new(rng.gen_range(0..100) as u32),
+                        TimeWindow::new(rng.gen_range(0..300) as u32),
+                        Severity::from_secs(rng.gen_range(30..3600) as u64),
+                    )
+                })
+                .collect();
+
+            // Random partition into 1..=4 non-empty parts.
+            let k = rng.gen_range(1..=4.min(records.len()));
+            let mut parts: Vec<Vec<AtypicalRecord>> = vec![Vec::new(); k];
+            for (i, &r) in records.iter().enumerate() {
+                // Guarantee non-emptiness by spreading the first k records.
+                let part = if i < k { i } else { rng.gen_range(0..k) };
+                parts[part].push(r);
+            }
+
+            let whole = cluster_from_records(0, records);
+            let merged = parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, part)| cluster_from_records(i as u64 + 1, part))
+                .reduce(|acc, c| acc.merge(&c, ClusterId::new(99)))
+                .expect("at least one part");
+            assert_eq!(
+                canonicalize(&[whole]),
+                canonicalize(&[merged]),
+                "round {round}: partition-and-merge diverged from recomputation"
+            );
+        }
+    });
+}
+
+/// Properties 4–5: the red-zone guided query strategy (Gui) loses no
+/// significant cluster relative to integrating everything (All).
+#[test]
+fn guided_query_equals_naive_on_significant_clusters() {
+    run_seeded(
+        "guided_query_equals_naive_on_significant_clusters",
+        |seed| {
+            let days = 5u32;
+            let mut nonempty = 0;
+            for offset in 0..2u64 {
+                let sim = TrafficSim::new(
+                    SimConfig::new(Scale::Tiny, seed.wrapping_add(offset))
+                        .with_datasets(1)
+                        .with_days_per_dataset(days),
+                );
+                let params = Params::paper_defaults();
+                let built = build_forest_from_records(
+                    (0..days).map(|d| (d, sim.atypical_day(d))),
+                    sim.network(),
+                    &params,
+                    sim.config().spec,
+                );
+                let mut forest = built.forest;
+                let partition = UniformGrid::over(sim.network(), 3.0).partition(sim.network());
+                let engine = QueryEngine::new(sim.network(), &partition, params);
+                let query = Query::days(0, days);
+
+                let all = engine.execute(&mut forest, &query, Strategy::All);
+                let gui = engine.execute(&mut forest, &query, Strategy::Gui);
+                let truth: Vec<_> = all.significant().into_iter().cloned().collect();
+                if !truth.is_empty() {
+                    nonempty += 1;
+                }
+                let truth_refs: Vec<&atypical::AtypicalCluster> = truth.iter().collect();
+                let pr = evaluate(&gui, &truth_refs);
+                assert_eq!(
+                    pr.recall,
+                    1.0,
+                    "dataset seed {}: Gui lost a significant cluster",
+                    seed.wrapping_add(offset)
+                );
+            }
+            assert!(nonempty >= 1, "fixture produced no significant clusters");
+        },
+    );
+}
+
+/// Cube roll-up consistency: summing any cuboid — every (spatial level ×
+/// temporal level) combination — reproduces the grand total, both the
+/// record count and the severity total.
+#[test]
+fn cube_rollups_are_consistent_at_every_level() {
+    run_seeded("cube_rollups_are_consistent_at_every_level", |seed| {
+        let (sim, records) = tiny_day(seed);
+        let hierarchy = RegionHierarchy::standard(sim.network(), 3.0, 3);
+        let num_levels = hierarchy.num_levels();
+        let mut cube = SpatioTemporalCube::new(hierarchy, sim.config().spec);
+        for r in &records {
+            cube.add_atypical(r);
+        }
+        let grand = cube.grand_total();
+        assert_eq!(grand.count, records.len() as u64);
+        assert_eq!(
+            grand.total,
+            records.iter().map(|r| r.severity).sum::<Severity>()
+        );
+
+        for spatial in 0..num_levels {
+            for temporal in [
+                TemporalLevel::Hour,
+                TemporalLevel::Day,
+                TemporalLevel::Week,
+                TemporalLevel::Month,
+            ] {
+                let rolled = cube.cuboid(spatial, temporal).values().fold(
+                    CountAndTotal::default(),
+                    |acc, &m| CountAndTotal {
+                        count: acc.count + m.count,
+                        total: acc.total + m.total,
+                    },
+                );
+                assert_eq!(
+                    rolled, grand,
+                    "cuboid (spatial {spatial}, {temporal:?}) does not roll up to the grand total"
+                );
+            }
+        }
+    });
+}

@@ -1,7 +1,24 @@
 #!/usr/bin/env bash
-# Local CI gate: format, lints, tests. Run from anywhere in the repo.
+# Local CI gate: format, lints, tests, fault suite. Run from anywhere in
+# the repo.
+#
+# Budget knobs:
+#   PROPTEST_CASES  cases per property (default here: 16 for a fast gate;
+#                   unset it to use each test's own count)
+#   CI_FUZZ=1       soak mode: 256 cases per property
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Property-test budget: small by default so the gate stays fast, large
+# under CI_FUZZ=1. An explicit PROPTEST_CASES always wins.
+if [[ -z "${PROPTEST_CASES:-}" ]]; then
+  if [[ "${CI_FUZZ:-0}" == "1" ]]; then
+    export PROPTEST_CASES=256
+  else
+    export PROPTEST_CASES=16
+  fi
+fi
+echo "==> PROPTEST_CASES=${PROPTEST_CASES}"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -11,5 +28,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test --workspace -q
+
+# The fault-injection and crash-recovery suite once more under a fixed
+# seed, so the exact sweep CI certifies is reproducible on any machine
+# with `CPS_FAULT_SEED=42 cargo test -p cps-testkit`.
+echo "==> CPS_FAULT_SEED=42 cargo test -p cps-testkit -q"
+CPS_FAULT_SEED=42 cargo test -p cps-testkit -q
 
 echo "CI green."

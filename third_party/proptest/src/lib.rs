@@ -248,24 +248,49 @@ pub mod sample {
     }
 }
 
+fn env_u64(name: &str) -> Option<u64> {
+    let text = std::env::var(name).ok()?;
+    Some(
+        text.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} is not a u64: {text:?}")),
+    )
+}
+
 /// Runs `case` for `config.cases` deterministic seeds; panics on the first
-/// failure, reporting the case index (inputs are not shrunk).
+/// failure, reporting the case index and the exact `PROPTEST_SEED` that
+/// reruns just that case (inputs are not shrunk).
+///
+/// Environment knobs:
+/// * `PROPTEST_CASES` overrides every property's case count — a CI budget
+///   dial (small for quick runs, large for soak runs).
+/// * `PROPTEST_SEED` runs exactly one case from the given seed, as printed
+///   by a failure message.
 pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    if let Some(seed) = env_u64("PROPTEST_SEED") {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest property {name} failed at PROPTEST_SEED={seed}: {e}");
+        }
+        return;
+    }
     // FNV-1a over the test name keeps seeds distinct across properties.
     let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
     for b in name.bytes() {
         seed ^= u64::from(b);
         seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    for i in 0..config.cases {
-        let mut rng = TestRng::from_seed(seed.wrapping_add(u64::from(i)));
+    let cases = env_u64("PROPTEST_CASES").map_or(config.cases, |n| n as u32);
+    for i in 0..cases {
+        let case_seed = seed.wrapping_add(u64::from(i));
+        let mut rng = TestRng::from_seed(case_seed);
         if let Err(e) = case(&mut rng) {
             panic!(
-                "proptest property {name} failed at case {i}/{}: {e}",
-                config.cases
+                "proptest property {name} failed at case {i}/{cases} \
+                 (rerun just this case with PROPTEST_SEED={case_seed}): {e}"
             );
         }
     }
@@ -387,6 +412,30 @@ mod tests {
             prop_assert!(sum <= 50 * 10);
             prop_assert_eq!(k.checked_mul(0), Some(0));
         }
+    }
+
+    #[test]
+    fn failure_message_names_a_reproducible_seed() {
+        let err = std::panic::catch_unwind(|| {
+            let cfg = ProptestConfig::with_cases(3);
+            crate::run_cases(&cfg, "seed_hint", |rng| {
+                let _ = rng.next_u64();
+                Err(TestCaseError::fail("boom"))
+            })
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("PROPTEST_SEED="), "{msg}");
+    }
+
+    #[test]
+    fn env_knob_parses_u64() {
+        std::env::set_var("PROPTEST_SHIM_TEST_KNOB", "17");
+        assert_eq!(crate::env_u64("PROPTEST_SHIM_TEST_KNOB"), Some(17));
+        std::env::remove_var("PROPTEST_SHIM_TEST_KNOB");
+        assert_eq!(crate::env_u64("PROPTEST_SHIM_TEST_KNOB"), None);
     }
 
     #[test]
