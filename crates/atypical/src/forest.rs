@@ -11,7 +11,7 @@
 //! pre-computed).
 
 use crate::cluster::AtypicalCluster;
-use crate::integrate::{integrate_aligned, TimeAlignment};
+use crate::integrate::{integrate_aligned, IntegrationStats, TimeAlignment};
 use cps_core::fx::FxHashMap;
 use cps_core::ids::ClusterIdGen;
 use cps_core::{Params, TimeRange, WindowSpec};
@@ -38,6 +38,10 @@ pub struct AtypicalForest {
     /// Cached month-level macro-clusters, by month index.
     months: FxHashMap<u32, Vec<AtypicalCluster>>,
     ids: ClusterIdGen,
+    /// Counters accumulated across every roll-up integration this forest
+    /// has run — comparisons saved by the indexed path (candidates pruned,
+    /// bound skips) are observable here.
+    integration_stats: IntegrationStats,
 }
 
 impl AtypicalForest {
@@ -50,6 +54,7 @@ impl AtypicalForest {
             weeks: FxHashMap::default(),
             months: FxHashMap::default(),
             ids: ClusterIdGen::new(1_000_000),
+            integration_stats: IntegrationStats::default(),
         }
     }
 
@@ -64,12 +69,21 @@ impl AtypicalForest {
     }
 
     /// Integration with the forest's time-of-day alignment (recurring daily
-    /// events at the same clock time integrate across days).
+    /// events at the same clock time integrate across days). The strategy —
+    /// indexed candidate generation or naive scan — follows
+    /// [`Params::indexed_integration`]; both produce identical roll-ups.
     fn run_integration(&mut self, inputs: Vec<AtypicalCluster>) -> Vec<AtypicalCluster> {
         let alignment = TimeAlignment::TimeOfDay {
             windows_per_day: self.spec.windows_per_day(),
         };
-        integrate_aligned(inputs, &self.params, alignment, &mut self.ids).0
+        let (macros, stats) = integrate_aligned(inputs, &self.params, alignment, &mut self.ids);
+        self.integration_stats.absorb(stats);
+        macros
+    }
+
+    /// Counters accumulated across all roll-up integrations so far.
+    pub fn integration_stats(&self) -> IntegrationStats {
+        self.integration_stats
     }
 
     /// Inserts (replaces) the micro-clusters of one day and invalidates the
@@ -343,6 +357,23 @@ mod tests {
         assert_eq!(weekend_micros, 8); // 4 weekend days × 2
         let calendar = f.integrate_by_path(0, 14, AggregationPath::Calendar);
         assert_eq!(calendar.len(), 1);
+    }
+
+    #[test]
+    fn rollups_accumulate_integration_stats() {
+        let mut f = forest_with_days(7);
+        assert_eq!(f.integration_stats(), IntegrationStats::default());
+        let _ = f.week(0);
+        let stats = f.integration_stats();
+        assert!(stats.merges > 0, "recurring micros integrate");
+        // Roaming micros share folded windows but no sensors with the
+        // recurring ones: the one-sided bound caps those pairs at exactly
+        // ½·(0 + 1) = 0.5 = δsim, so the indexed path skips them without
+        // an exact evaluation.
+        assert!(stats.bound_skips > 0, "disjoint-sensor pairs bound-skipped");
+        let after_first = stats;
+        let _ = f.week(0); // memoized — no further integration work
+        assert_eq!(f.integration_stats(), after_first);
     }
 
     #[test]

@@ -11,9 +11,10 @@
 
 use crate::cluster::AtypicalCluster;
 use crate::feature::TemporalFeature;
-use crate::similarity::{fold_tf, similarity, similarity_parts};
+use crate::integrate_index::integrate_aligned_indexed;
+use crate::similarity::{fold_tf, similarity, similarity_folded, similarity_parts};
 use cps_core::ids::ClusterIdGen;
-use cps_core::Params;
+use cps_core::{ClusterId, Params};
 use std::collections::VecDeque;
 
 /// How temporal features are compared during integration.
@@ -33,12 +34,96 @@ pub enum TimeAlignment {
 }
 
 /// Statistics from one integration run.
+///
+/// `comparisons` counts similarity *evaluations*, not distinct unordered
+/// cluster pairs: when a merge re-enqueues the merged cluster at the back of
+/// the work queue, it is compared afresh against result members its
+/// constituents were already compared with (the merged cluster is a new
+/// cluster, so those evaluations are not redundant — but they do mean the
+/// count exceeds `n·(n−1)/2` on merge-heavy inputs). The
+/// `naive_comparisons_count_reevaluations_after_merge` regression test pins
+/// this behavior for the naive oracle.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IntegrationStats {
-    /// Pairwise similarity evaluations performed.
+    /// Pairwise similarity evaluations performed (exact `Sim` computations;
+    /// on the indexed path this excludes pruned candidates and bound skips).
     pub comparisons: u64,
     /// Merge operations performed.
     pub merges: u64,
+    /// Result-set members never evaluated against an incoming cluster
+    /// because they share no sensor and no (aligned) window with it — the
+    /// inverted index proves their similarity is exactly zero. Always zero
+    /// on the naive path.
+    pub candidates_pruned: u64,
+    /// Candidates skipped because an admissible upper bound on their
+    /// similarity was already ≤ `δsim`, without computing the exact value.
+    /// Always zero on the naive path.
+    pub bound_skips: u64,
+}
+
+impl IntegrationStats {
+    /// Folds another run's counters into this one (forest roll-ups
+    /// accumulate stats across many integration calls).
+    pub fn absorb(&mut self, other: IntegrationStats) {
+        self.comparisons += other.comparisons;
+        self.merges += other.merges;
+        self.candidates_pruned += other.candidates_pruned;
+        self.bound_skips += other.bound_skips;
+    }
+}
+
+/// A cluster paired with its alignment-folded temporal feature, the unit
+/// both integration strategies operate on. Folding is done once per input
+/// and maintained incrementally through merges (folded features are
+/// algebraic too).
+pub(crate) struct Aligned {
+    pub(crate) cluster: AtypicalCluster,
+    /// `Some(folded TF)` under [`TimeAlignment::TimeOfDay`], `None` under
+    /// [`TimeAlignment::Absolute`].
+    pub(crate) folded: Option<TemporalFeature>,
+}
+
+impl Aligned {
+    /// Wraps an input cluster, folding its temporal feature if needed.
+    pub(crate) fn new(cluster: AtypicalCluster, alignment: TimeAlignment) -> Self {
+        let folded = match alignment {
+            TimeAlignment::Absolute => None,
+            TimeAlignment::TimeOfDay { windows_per_day } => {
+                Some(fold_tf(&cluster.tf, windows_per_day))
+            }
+        };
+        Self { cluster, folded }
+    }
+
+    /// The temporal feature similarity is computed on: the folded one when
+    /// present, the raw one otherwise.
+    pub(crate) fn tf(&self) -> &TemporalFeature {
+        self.folded.as_ref().unwrap_or(&self.cluster.tf)
+    }
+
+    /// Equation 2 against another aligned cluster.
+    pub(crate) fn similarity_to(&self, other: &Aligned, g: cps_core::BalanceFunction) -> f64 {
+        similarity_parts(
+            &self.cluster.sf,
+            self.tf(),
+            &other.cluster.sf,
+            other.tf(),
+            g,
+        )
+    }
+
+    /// Merges two aligned clusters (Algorithm 2 plus incremental fold
+    /// maintenance).
+    pub(crate) fn merge(self, other: Aligned, id: ClusterId) -> Aligned {
+        let folded = match (self.folded, other.folded) {
+            (Some(a), Some(b)) => Some(a.merge(&b)),
+            _ => None,
+        };
+        Aligned {
+            cluster: self.cluster.merge(&other.cluster, id),
+            folded,
+        }
+    }
 }
 
 /// Integrates clusters into macro-clusters (Algorithm 3) with absolute time
@@ -60,58 +145,59 @@ pub fn integrate_with_stats(
     integrate_aligned(clusters, params, TimeAlignment::Absolute, ids)
 }
 
-/// Integrates clusters into macro-clusters (Algorithm 3).
-///
-/// Work-queue formulation: every cluster is compared against the tentative
-/// result set (an invariant: pairwise non-similar). On a hit the pair is
-/// merged and re-enqueued, re-examining it against everything — exactly the
-/// fixpoint Algorithm 3 reaches, in `O(n²)` comparisons when nothing merges
-/// and `O(n·m)` extra work for `m` merges (Proposition 3's bound).
-///
-/// Folded temporal features are computed once per input and merged
-/// incrementally (they are algebraic too), so alignment adds `O(l)` per
-/// cluster, not per comparison.
+/// Integrates clusters into macro-clusters (Algorithm 3), dispatching on
+/// [`Params::indexed_integration`]: inverted-index candidate generation
+/// (default) or the naive pairwise scan. Both strategies walk the same work
+/// queue in the same order and merge with the same first above-threshold
+/// result member, so they produce **identical** outputs — the indexed path
+/// only skips evaluations the index proves are ≤ `δsim`
+/// (`tests/integrate_differential.rs` asserts the equivalence).
 pub fn integrate_aligned(
     clusters: Vec<AtypicalCluster>,
     params: &Params,
     alignment: TimeAlignment,
     ids: &mut ClusterIdGen,
 ) -> (Vec<AtypicalCluster>, IntegrationStats) {
-    let mut stats = IntegrationStats::default();
-    let fold = |c: &AtypicalCluster| -> Option<TemporalFeature> {
-        match alignment {
-            TimeAlignment::Absolute => None,
-            TimeAlignment::TimeOfDay { windows_per_day } => Some(fold_tf(&c.tf, windows_per_day)),
-        }
-    };
-    struct Entry {
-        cluster: AtypicalCluster,
-        folded: Option<TemporalFeature>,
+    if params.indexed_integration {
+        integrate_aligned_indexed(clusters, params, alignment, ids)
+    } else {
+        integrate_aligned_naive(clusters, params, alignment, ids)
     }
-    let mut queue: VecDeque<Entry> = clusters
+}
+
+/// Integrates clusters into macro-clusters (Algorithm 3) with the naive
+/// full pairwise scan — the differential-test oracle for the indexed path.
+///
+/// Work-queue formulation: every cluster is compared against the tentative
+/// result set (an invariant: pairwise non-similar). On a hit the pair is
+/// merged and re-enqueued, re-examining it against everything — exactly the
+/// fixpoint Algorithm 3 reaches, in `O(n²)` comparisons when nothing merges
+/// and `O(n·m)` extra work for `m` merges (Proposition 3's bound). Note the
+/// re-enqueue means [`IntegrationStats::comparisons`] counts evaluations,
+/// not distinct pairs: a merged cluster is compared against result members
+/// its constituents already saw (see the stats type's docs).
+///
+/// Folded temporal features are computed once per input and merged
+/// incrementally (they are algebraic too), so alignment adds `O(l)` per
+/// cluster, not per comparison.
+pub fn integrate_aligned_naive(
+    clusters: Vec<AtypicalCluster>,
+    params: &Params,
+    alignment: TimeAlignment,
+    ids: &mut ClusterIdGen,
+) -> (Vec<AtypicalCluster>, IntegrationStats) {
+    let mut stats = IntegrationStats::default();
+    let mut queue: VecDeque<Aligned> = clusters
         .into_iter()
-        .map(|c| {
-            let folded = fold(&c);
-            Entry { cluster: c, folded }
-        })
+        .map(|c| Aligned::new(c, alignment))
         .collect();
-    let mut result: Vec<Entry> = Vec::with_capacity(queue.len());
+    let mut result: Vec<Aligned> = Vec::with_capacity(queue.len());
 
     while let Some(candidate) = queue.pop_front() {
         let mut hit = None;
         for (i, existing) in result.iter().enumerate() {
             stats.comparisons += 1;
-            let sim = match (&candidate.folded, &existing.folded) {
-                (Some(ft_a), Some(ft_b)) => similarity_parts(
-                    &candidate.cluster.sf,
-                    ft_a,
-                    &existing.cluster.sf,
-                    ft_b,
-                    params.balance,
-                ),
-                _ => similarity(&candidate.cluster, &existing.cluster, params.balance),
-            };
-            if sim > params.delta_sim {
+            if candidate.similarity_to(existing, params.balance) > params.delta_sim {
                 hit = Some(i);
                 break;
             }
@@ -120,27 +206,42 @@ pub fn integrate_aligned(
             Some(i) => {
                 let existing = result.swap_remove(i);
                 stats.merges += 1;
-                let folded = match (candidate.folded, existing.folded) {
-                    (Some(a), Some(b)) => Some(a.merge(&b)),
-                    _ => None,
-                };
-                queue.push_back(Entry {
-                    cluster: candidate.cluster.merge(&existing.cluster, ids.next_id()),
-                    folded,
-                });
+                queue.push_back(candidate.merge(existing, ids.next_id()));
             }
             None => result.push(candidate),
         }
     }
-    (result.into_iter().map(|e| e.cluster).collect(), stats)
+    let out: Vec<AtypicalCluster> = result.into_iter().map(|e| e.cluster).collect();
+    debug_assert!(
+        is_fixpoint_aligned(&out, params, alignment),
+        "naive integration must return a pairwise-non-similar set"
+    );
+    (out, stats)
 }
 
 /// Checks the Algorithm-3 fixpoint condition: no pair in `clusters` exceeds
 /// `δsim`. Used by tests and debug assertions.
 pub fn is_fixpoint(clusters: &[AtypicalCluster], params: &Params) -> bool {
+    is_fixpoint_aligned(clusters, params, TimeAlignment::Absolute)
+}
+
+/// [`is_fixpoint`] under an explicit [`TimeAlignment`]: the pairwise check
+/// uses the same similarity the integration run used, so every `integrate*`
+/// return site can `debug_assert!` it. `O(n²)` — debug builds only.
+pub fn is_fixpoint_aligned(
+    clusters: &[AtypicalCluster],
+    params: &Params,
+    alignment: TimeAlignment,
+) -> bool {
     for (i, a) in clusters.iter().enumerate() {
         for b in &clusters[i + 1..] {
-            if similarity(a, b, params.balance) > params.delta_sim {
+            let sim = match alignment {
+                TimeAlignment::Absolute => similarity(a, b, params.balance),
+                TimeAlignment::TimeOfDay { windows_per_day } => {
+                    similarity_folded(a, b, params.balance, windows_per_day)
+                }
+            };
+            if sim > params.delta_sim {
                 return false;
             }
         }
@@ -421,5 +522,69 @@ mod tests {
         let one = cluster(1, &[1], &[1]);
         let out = integrate(vec![one.clone()], &params(), &mut ids);
         assert_eq!(out, vec![one]);
+    }
+
+    /// Pins the naive oracle's `comparisons` accounting: the work-queue
+    /// re-enqueues merged clusters at the back, so result members already
+    /// examined by a merge's constituents are evaluated again against the
+    /// merged cluster. With input `[a, b, c]` where only `b ~ c`:
+    ///
+    /// * `a` enters an empty result — 0 evaluations;
+    /// * `b` vs `a` — 1 evaluation, no hit;
+    /// * `c` vs `a` (miss), `c` vs `b` (hit, merge) — 2 evaluations;
+    /// * merged `b∪c` re-enqueued, vs `a` — 1 evaluation (a *new* cluster,
+    ///   but `a` was already compared against both constituents).
+    ///
+    /// Total: 4 evaluations for 3 distinct input pairs, 1 merge. This is an
+    /// evaluation count by design (the merged cluster's similarity to `a`
+    /// is genuinely unknown); this test exists so any future change to the
+    /// accounting is a conscious one.
+    #[test]
+    fn naive_comparisons_count_reevaluations_after_merge() {
+        let a = cluster(1, &[100, 101], &[100, 101]);
+        let b = cluster(2, &[1, 2, 3, 4], &[10, 11, 12, 13]);
+        let c = cluster(3, &[2, 3, 4, 5], &[11, 12, 13, 14]);
+        let p = params().with_indexed_integration(false);
+        let mut ids = ClusterIdGen::new(50);
+        let (out, stats) = integrate_aligned(vec![a, b, c], &p, TimeAlignment::Absolute, &mut ids);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.merges, 1);
+        assert_eq!(stats.comparisons, 4, "3 distinct pairs + 1 re-evaluation");
+        assert_eq!(stats.candidates_pruned, 0, "naive path never prunes");
+        assert_eq!(stats.bound_skips, 0, "naive path never bound-skips");
+    }
+
+    /// The `Params::indexed_integration` flag selects the strategy; both
+    /// strategies return identical clusters (ids included) and identical
+    /// merge counts, and the indexed one never evaluates more pairs.
+    #[test]
+    fn dispatch_strategies_agree_exactly() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let clusters: Vec<AtypicalCluster> = (0..50)
+            .map(|i| {
+                let base = rng.gen_range(0..40u32);
+                let keys: Vec<u32> = (base..base + 3).collect();
+                cluster(i, &keys, &keys)
+            })
+            .collect();
+        for alignment in [
+            TimeAlignment::Absolute,
+            TimeAlignment::TimeOfDay {
+                windows_per_day: 288,
+            },
+        ] {
+            let naive_params = params().with_indexed_integration(false);
+            let indexed_params = params().with_indexed_integration(true);
+            let mut ids_n = ClusterIdGen::new(1000);
+            let mut ids_i = ClusterIdGen::new(1000);
+            let (naive, ns) =
+                integrate_aligned(clusters.clone(), &naive_params, alignment, &mut ids_n);
+            let (indexed, is) =
+                integrate_aligned(clusters.clone(), &indexed_params, alignment, &mut ids_i);
+            assert_eq!(naive, indexed, "{alignment:?}");
+            assert_eq!(ns.merges, is.merges, "{alignment:?}");
+            assert!(is.comparisons <= ns.comparisons, "{alignment:?}");
+        }
     }
 }

@@ -17,6 +17,10 @@
 //! * [`merge` in `cluster`] + [`mod@integrate`] — Algorithms 2 and 3:
 //!   commutative/associative merging (Property 3) and fixpoint integration
 //!   into macro-clusters.
+//! * [`integrate_index`] — the indexed integration hot path: inverted-index
+//!   candidate generation with admissible similarity upper bounds,
+//!   bit-identical to the naive scan (differential-tested) but pruning
+//!   provably sub-threshold pairs.
 //! * [`forest`] — hierarchical clustering trees over aggregation paths
 //!   (day → week → month, weekday/weekend), partially materialized.
 //! * [`significant`] — significant clusters (Definition 5).
@@ -77,6 +81,7 @@ pub mod event;
 pub mod feature;
 pub mod forest;
 pub mod integrate;
+pub mod integrate_index;
 pub mod online;
 pub mod pipeline;
 pub mod predict;
@@ -93,6 +98,7 @@ pub use event::AtypicalEvent;
 pub use feature::{Feature, SpatialFeature, TemporalFeature};
 pub use forest::AtypicalForest;
 pub use integrate::integrate;
+pub use integrate_index::IndexedIntegrator;
 pub use query::{Query, QueryEngine, QueryResult, Strategy};
 pub use significant::significance_threshold;
 pub use similarity::similarity;

@@ -26,9 +26,10 @@ pub fn temporal_similarity(a: &AtypicalCluster, b: &AtypicalCluster, g: BalanceF
     g.apply(oa.fraction_of(a.tf.total()), ob.fraction_of(b.tf.total()))
 }
 
-/// Combined similarity (Equation 2).
+/// Combined similarity (Equation 2). Routed through [`similarity_parts`] so
+/// its debug-build NaN/Inf guard covers every caller.
 pub fn similarity(a: &AtypicalCluster, b: &AtypicalCluster, g: BalanceFunction) -> f64 {
-    0.5 * (spatial_similarity(a, b, g) + temporal_similarity(a, b, g))
+    similarity_parts(&a.sf, &a.tf, &b.sf, &b.tf, g)
 }
 
 /// Folds a temporal feature to time-of-day granularity: window `w` maps to
@@ -64,7 +65,17 @@ pub fn similarity_parts(
     let sim_sf = g.apply(sa.fraction_of(sf1.total()), sb.fraction_of(sf2.total()));
     let (ta, tb) = tf1.overlap(tf2);
     let sim_tf = g.apply(ta.fraction_of(tf1.total()), tb.fraction_of(tf2.total()));
-    0.5 * (sim_sf + sim_tf)
+    let sim = 0.5 * (sim_sf + sim_tf);
+    // `fraction_of` maps 0/0 to 0 and every `g` maps [0,1]² into [0,1]
+    // (harmonic handles its 0/0 pole explicitly), so no input — empty
+    // features, zero severities, degenerate overlaps — may ever produce a
+    // NaN/Inf or leave the unit interval. Integration thresholds would
+    // silently misbehave on such a value, hence the guard.
+    debug_assert!(
+        sim.is_finite() && (0.0..=1.0 + 1e-12).contains(&sim),
+        "similarity must stay in [0, 1]: got {sim} (sf {sim_sf}, tf {sim_tf})"
+    );
+    sim
 }
 
 /// Similarity with time-of-day alignment: spatial on absolute sensors,
@@ -238,6 +249,89 @@ mod tests {
             Severity::from_minutes(30.0)
         );
         assert_eq!(folded.total(), tf.total());
+    }
+
+    /// Degenerate-input sweep: no NaN/Inf may ever leave `similarity_parts`
+    /// (the debug_assert inside it fires first in debug builds; the
+    /// assertions here also hold in release).
+    #[test]
+    fn degenerate_inputs_never_produce_nan() {
+        let empty = AtypicalCluster::new(
+            ClusterId::new(1),
+            SpatialFeature::new(),
+            TemporalFeature::new(),
+        );
+        let zero_sev = cluster(2, &[(1, 0.0), (2, 0.0)], &[(5, 0.0), (6, 0.0)]);
+        let normal = cluster(3, &[(1, 10.0), (2, 20.0)], &[(5, 15.0), (6, 15.0)]);
+        let single = cluster(4, &[(1, 10.0)], &[(5, 10.0)]);
+        let cases = [&empty, &zero_sev, &normal, &single];
+        for g in BalanceFunction::ALL {
+            for a in cases {
+                for b in cases {
+                    let sim = similarity(a, b, g);
+                    assert!(
+                        sim.is_finite() && (0.0..=1.0 + 1e-12).contains(&sim),
+                        "{g}: sim({:?}, {:?}) = {sim}",
+                        a.id,
+                        b.id
+                    );
+                    let folded = similarity_folded(a, b, g, 288);
+                    assert!(folded.is_finite(), "{g}: folded = {folded}");
+                }
+            }
+        }
+    }
+
+    /// Empty features overlap nothing: similarity against anything is 0,
+    /// for every balance function (0/0 fractions collapse to 0, not NaN).
+    #[test]
+    fn empty_cluster_is_similar_to_nothing() {
+        let empty = AtypicalCluster::new(
+            ClusterId::new(1),
+            SpatialFeature::new(),
+            TemporalFeature::new(),
+        );
+        let other = cluster(2, &[(1, 10.0)], &[(5, 10.0)]);
+        for g in BalanceFunction::ALL {
+            assert_eq!(similarity(&empty, &other, g), 0.0, "{g}");
+            assert_eq!(similarity(&empty, &empty, g), 0.0, "{g} self");
+        }
+    }
+
+    /// A single shared sensor with all of both clusters' spatial mass:
+    /// SimSF = g(1, 1) = 1 for every g, SimTF = 0 ⇒ Sim = 0.5 exactly.
+    #[test]
+    fn single_sensor_full_overlap_scores_half() {
+        let a = cluster(1, &[(7, 30.0)], &[(100, 30.0)]);
+        let b = cluster(2, &[(7, 99.0)], &[(200, 99.0)]);
+        for g in BalanceFunction::ALL {
+            assert_eq!(similarity(&a, &b, g), 0.5, "{g}");
+        }
+    }
+
+    /// Harmonic and geometric means hit their 0·0 / 0+0 poles when the
+    /// shared keys carry zero severity on one or both sides — the result
+    /// must be 0, not NaN.
+    #[test]
+    fn harmonic_and_geometric_handle_zero_severity_overlap() {
+        // Shared sensor 1 and shared window 5, but `a` carries zero
+        // severity on both shared keys (its mass sits on sensor 2/window 6).
+        let a = cluster(1, &[(1, 0.0), (2, 40.0)], &[(5, 0.0), (6, 40.0)]);
+        let b = cluster(2, &[(1, 40.0), (3, 0.0)], &[(5, 40.0), (7, 0.0)]);
+        for g in [
+            BalanceFunction::HarmonicMean,
+            BalanceFunction::GeometricMean,
+        ] {
+            let sim = similarity(&a, &b, g);
+            assert_eq!(sim, 0.0, "{g}: zero-mass overlap must score 0");
+        }
+        // All-zero totals on both sides: every fraction is 0/0 ⇒ 0.
+        let za = cluster(3, &[(1, 0.0)], &[(5, 0.0)]);
+        let zb = cluster(4, &[(1, 0.0)], &[(5, 0.0)]);
+        for g in BalanceFunction::ALL {
+            let sim = similarity(&za, &zb, g);
+            assert!(sim.is_finite() && sim == 0.0, "{g}: {sim}");
+        }
     }
 
     proptest! {

@@ -26,20 +26,30 @@ fn bench_integration(c: &mut Criterion) {
     group.sample_size(10);
     for days in [2u32, 7, 14] {
         let micros = built.forest.micros_in_days(0, days);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(micros.len()),
-            &micros,
-            |b, micros| {
-                b.iter(|| {
-                    let mut ids = cps_core::ids::ClusterIdGen::new(1);
-                    black_box(
-                        integrate_aligned(micros.clone(), &params, alignment, &mut ids)
+        for (strategy, strategy_params) in [
+            ("naive", params.with_indexed_integration(false)),
+            ("indexed", params.with_indexed_integration(true)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy, micros.len()),
+                &micros,
+                |b, micros| {
+                    b.iter(|| {
+                        let mut ids = cps_core::ids::ClusterIdGen::new(1);
+                        black_box(
+                            integrate_aligned(
+                                micros.clone(),
+                                &strategy_params,
+                                alignment,
+                                &mut ids,
+                            )
                             .0
                             .len(),
-                    )
-                })
-            },
-        );
+                        )
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

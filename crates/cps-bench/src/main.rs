@@ -12,7 +12,8 @@
 //!   fig20            Figure 20: #clusters vs δt and δd
 //!   fig21            Figure 21: severity of significant clusters vs δsim × g
 //!   ablate           Red-zone and retrieval ablations
-//!   all              Everything above
+//!   integrate        Naive vs indexed integration perf trajectory
+//!   all              Everything above (except `integrate`)
 //!
 //! Options:
 //!   --scale <tiny|small|medium|paper>   deployment scale (default tiny)
@@ -20,6 +21,9 @@
 //!   --datasets <k>                      datasets for fig15/16 (default 12)
 //!   --days <n>                          days per dataset (default 30)
 //!   --out <dir>                         results directory (default results/)
+//!   --sizes <n,n,...>                   `integrate` input sizes (default 1000,5000,20000)
+//!   --iters <n>                         `integrate` reps per size (default 3)
+//!   --bench-out <file>                  `integrate` artifact (default BENCH_integrate.json)
 //! ```
 
 use cps_bench::figs;
@@ -35,6 +39,9 @@ struct Args {
     datasets: u32,
     days: u32,
     out: String,
+    sizes: Vec<usize>,
+    iters: u32,
+    bench_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +52,9 @@ fn parse_args() -> Result<Args, String> {
         datasets: 12,
         days: 30,
         out: "results".to_string(),
+        sizes: vec![1_000, 5_000, 20_000],
+        iters: 3,
+        bench_out: "BENCH_integrate.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -62,6 +72,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--days" => args.days = grab("--days")?.parse().map_err(|e| format!("{e}"))?,
             "--out" => args.out = grab("--out")?,
+            "--sizes" => {
+                args.sizes = grab("--sizes")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--sizes: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if args.sizes.is_empty() {
+                    return Err("--sizes needs at least one size".to_string());
+                }
+            }
+            "--iters" => args.iters = grab("--iters")?.parse().map_err(|e| format!("{e}"))?,
+            "--bench-out" => args.bench_out = grab("--bench-out")?,
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
                 args.command = cmd.to_string();
             }
@@ -92,10 +117,28 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|all>");
+            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] [--sizes N,N] [--iters N] [--bench-out FILE] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|integrate|all>");
             return ExitCode::FAILURE;
         }
     };
+
+    // `integrate` needs no workbench (its inputs are synthetic): run it
+    // before the expensive dataset preparation.
+    if args.command == "integrate" {
+        let config = cps_bench::integrate_bench::IntegrateBenchConfig {
+            sizes: args.sizes.clone(),
+            iters: args.iters,
+            seed: args.seed,
+        };
+        let results = cps_bench::integrate_bench::run(&config);
+        let path = std::path::Path::new(&args.bench_out);
+        if let Err(e) = cps_bench::integrate_bench::save_json(&results, &config, path) {
+            eprintln!("error saving {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
 
     let mut config = ReproConfig::new(args.scale, args.seed);
     config.n_datasets = args.datasets;

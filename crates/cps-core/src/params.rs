@@ -105,6 +105,12 @@ pub struct Params {
     /// isolated single-window glitch with no corroborating neighbour is not
     /// a trustworthy event. Set to 1 to keep everything.
     pub min_event_records: u32,
+    /// Use inverted-index candidate generation during cluster integration
+    /// (Algorithm 3). The indexed path produces results identical to the
+    /// naive pairwise scan — candidates are exact because zero key overlap
+    /// implies zero similarity — it only skips provably sub-threshold
+    /// comparisons. Default `true`; turn off to run the naive oracle.
+    pub indexed_integration: bool,
 }
 
 impl Params {
@@ -118,6 +124,7 @@ impl Params {
             delta_sim: 0.5,
             balance: BalanceFunction::ArithmeticMean,
             min_event_records: 2,
+            indexed_integration: true,
         }
     }
 
@@ -177,6 +184,14 @@ impl Params {
         self.min_event_records = n;
         self
     }
+
+    /// Builder-style override of the integration strategy: `true` (default)
+    /// uses inverted-index candidate generation, `false` the naive pairwise
+    /// scan (the differential-test oracle).
+    pub fn with_indexed_integration(mut self, on: bool) -> Self {
+        self.indexed_integration = on;
+        self
+    }
 }
 
 impl Default for Params {
@@ -198,6 +213,10 @@ mod tests {
         assert_eq!(p.delta_s, 0.05);
         assert_eq!(p.delta_sim, 0.5);
         assert_eq!(p.balance, BalanceFunction::ArithmeticMean);
+        assert!(
+            p.indexed_integration,
+            "indexed integration is on by default"
+        );
         assert!(p.validate().is_ok());
     }
 

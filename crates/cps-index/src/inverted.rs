@@ -1,0 +1,151 @@
+//! A generic inverted index: key → posting list of slot ids.
+//!
+//! Cluster integration (Algorithm 3) only ever merges clusters whose
+//! similarity exceeds `δsim > 0`, and `Sim = ½(SimSF + SimTF)` is *exactly
+//! zero* when the two clusters share no sensor and no time window (the
+//! numerators of Equations 3/4 are sums over the key intersection). An
+//! inverted index over feature keys therefore yields an **exact** candidate
+//! set: any cluster absent from every posting list of the probe's keys has
+//! similarity 0 and can be skipped without evaluating it.
+//!
+//! The index is deliberately minimal — membership only, no severities — so
+//! maintenance on merge (remove two clusters, insert the merged one) stays
+//! cheap and allocation-free on the hot path. Posting lists are unordered;
+//! callers that need a deterministic evaluation order sort the gathered
+//! candidates themselves (see `atypical::integrate_index`).
+
+use cps_core::fx::FxHashMap;
+use std::hash::Hash;
+
+/// Inverted index from feature keys to the slots that contain them.
+///
+/// `K` is a cheap copyable key (`SensorId`, `TimeWindow`); slots are `u32`
+/// handles managed by the caller. A slot must be [`Self::insert`]ed and
+/// [`Self::remove`]d with exactly the same key set (typically the keys of a
+/// feature vector, which are immutable once built).
+#[derive(Clone, Debug, Default)]
+pub struct InvertedIndex<K> {
+    postings: FxHashMap<K, Vec<u32>>,
+    /// Total number of `(key, slot)` postings — O(1) size accounting.
+    len: usize,
+}
+
+impl<K: Copy + Eq + Hash> InvertedIndex<K> {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self {
+            postings: FxHashMap::default(),
+            len: 0,
+        }
+    }
+
+    /// Registers `slot` under every key of `keys`.
+    ///
+    /// Keys must be distinct (feature vectors are key-sorted and deduped, so
+    /// this holds by construction for the integration use-case).
+    pub fn insert<I: IntoIterator<Item = K>>(&mut self, slot: u32, keys: I) {
+        for key in keys {
+            self.postings.entry(key).or_default().push(slot);
+            self.len += 1;
+        }
+    }
+
+    /// Unregisters `slot` from every key of `keys` — the exact key set it
+    /// was inserted with.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if a key has no posting for `slot`; that
+    /// indicates insert/remove asymmetry in the caller.
+    pub fn remove<I: IntoIterator<Item = K>>(&mut self, slot: u32, keys: I) {
+        for key in keys {
+            let Some(list) = self.postings.get_mut(&key) else {
+                debug_assert!(false, "remove of a key that was never inserted");
+                continue;
+            };
+            match list.iter().position(|&s| s == slot) {
+                Some(i) => {
+                    list.swap_remove(i);
+                    self.len -= 1;
+                    if list.is_empty() {
+                        self.postings.remove(&key);
+                    }
+                }
+                None => debug_assert!(false, "remove of a slot not present under key"),
+            }
+        }
+    }
+
+    /// The slots registered under `key` (empty if none). Order is
+    /// unspecified.
+    pub fn slots(&self, key: K) -> &[u32] {
+        self.postings.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys with at least one posting.
+    pub fn num_keys(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of `(key, slot)` postings.
+    pub fn num_postings(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no postings at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_gather_remove_roundtrip() {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        idx.insert(0, [1, 2, 3]);
+        idx.insert(1, [3, 4]);
+        assert_eq!(idx.num_keys(), 4);
+        assert_eq!(idx.num_postings(), 5);
+        assert_eq!(idx.slots(1), &[0]);
+        let mut shared: Vec<u32> = idx.slots(3).to_vec();
+        shared.sort_unstable();
+        assert_eq!(shared, vec![0, 1]);
+
+        idx.remove(0, [1, 2, 3]);
+        assert_eq!(idx.slots(1), &[] as &[u32]);
+        assert_eq!(idx.slots(3), &[1]);
+        assert_eq!(idx.num_postings(), 2);
+
+        idx.remove(1, [3, 4]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_keys(), 0);
+    }
+
+    #[test]
+    fn disjoint_slots_never_share_postings() {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        idx.insert(7, [10, 11]);
+        idx.insert(8, [20, 21]);
+        for key in [10, 11] {
+            assert_eq!(idx.slots(key), &[7]);
+        }
+        for key in [20, 21] {
+            assert_eq!(idx.slots(key), &[8]);
+        }
+        assert_eq!(idx.slots(99), &[] as &[u32]);
+    }
+
+    #[test]
+    fn reinsert_after_remove_is_clean() {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        idx.insert(0, [5]);
+        idx.insert(1, [5]);
+        idx.remove(0, [5]);
+        idx.insert(2, [5]);
+        let mut got = idx.slots(5).to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -10,6 +10,7 @@
 //! overflow = "block"          # or "drop"
 //! delta_t_minutes = 15        # seal policy: gap after which events seal
 //! min_event_records = 2       # seal policy: trust filter
+//! indexed_integration = true  # inverted-index live integration (default)
 //! red_cell_miles = 2.0
 //! snapshot_dir = "/var/lib/cps-monitor"
 //!
@@ -157,6 +158,9 @@ impl MonitorConfig {
                 "delta_d_miles" => config.params.delta_d_miles = value.as_f64(key)?,
                 "delta_s" => config.params.delta_s = value.as_f64(key)?,
                 "delta_sim" => config.params.delta_sim = value.as_f64(key)?,
+                "indexed_integration" => {
+                    config.params.indexed_integration = value.as_bool(key)?;
+                }
                 "window_minutes" => {
                     config.spec = WindowSpec::new(value.as_usize(key)? as u32);
                 }
@@ -237,6 +241,13 @@ impl TomlValue {
         match self {
             TomlValue::Str(s) => Ok(s),
             other => Err(format!("{key}: expected a string, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self, key: &str) -> Result<bool, String> {
+        match self {
+            TomlValue::Bool(b) => Ok(*b),
+            other => Err(format!("{key}: expected true or false, got {other:?}")),
         }
     }
 }
@@ -335,6 +346,7 @@ mod tests {
             overflow = "drop"
             delta_t_minutes = 20
             min_event_records = 3
+            indexed_integration = false
             red_cell_miles = 1.5
             snapshot_dir = "/tmp/monitor # not a comment"
 
@@ -350,6 +362,7 @@ mod tests {
         assert_eq!(config.overflow, OverflowPolicy::Drop);
         assert_eq!(config.params.delta_t_minutes, 20);
         assert_eq!(config.params.min_event_records, 3);
+        assert!(!config.params.indexed_integration);
         assert_eq!(config.red_cell_miles, 1.5);
         assert_eq!(
             config.snapshot_dir.as_deref(),
@@ -372,6 +385,7 @@ mod tests {
         assert!(MonitorConfig::from_toml_str("shards = 0").is_err());
         assert!(MonitorConfig::from_toml_str("shards = -3").is_err());
         assert!(MonitorConfig::from_toml_str("overflow = \"explode\"").is_err());
+        assert!(MonitorConfig::from_toml_str("indexed_integration = 1").is_err());
         assert!(MonitorConfig::from_toml_str("mystery_key = 1").is_err());
         assert!(MonitorConfig::from_toml_str("shards 4").is_err());
         assert!(MonitorConfig::from_toml_str("shards = 2\nshards = 3").is_err());

@@ -13,13 +13,95 @@
 //!   days stay cheap to pre-filter;
 //! - `macros` — live macro-clusters, kept at the Algorithm 3 fixpoint by
 //!   re-running the work-queue step for each arriving micro-cluster only.
+//!   [`Params::indexed_integration`] (default on) selects the
+//!   inverted-index integrator, which prunes result members sharing no
+//!   sensor and no window with the arriving cluster instead of scanning
+//!   the whole fixpoint set; both strategies maintain the same set.
 
+use atypical::integrate::{IntegrationStats, TimeAlignment};
 use atypical::similarity::similarity;
 use atypical::AtypicalCluster;
+use atypical::IndexedIntegrator;
 use cps_core::ids::ClusterIdGen;
 use cps_core::{Params, Severity, WindowSpec};
 use cps_geo::grid::SensorPartition;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The live macro-cluster fixpoint set, maintained by either integration
+/// strategy. Live comparison uses absolute time windows (the monitor
+/// integrates within its streaming horizon; cross-day folding happens in
+/// offline forest roll-ups).
+pub(crate) enum LiveMacros {
+    /// Naive incremental scan — the oracle the indexed path is
+    /// differential-tested against.
+    Naive(Vec<AtypicalCluster>),
+    /// Inverted-index candidate generation (see
+    /// `atypical::integrate_index`). Boxed: the integrator's slab and
+    /// scratch arrays dwarf the naive variant.
+    Indexed(Box<IndexedIntegrator>),
+}
+
+impl LiveMacros {
+    fn new(params: &Params) -> Self {
+        if params.indexed_integration {
+            LiveMacros::Indexed(Box::new(IndexedIntegrator::new(
+                params,
+                TimeAlignment::Absolute,
+            )))
+        } else {
+            LiveMacros::Naive(Vec::new())
+        }
+    }
+
+    /// Number of live macro-clusters.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            LiveMacros::Naive(v) => v.len(),
+            LiveMacros::Indexed(ix) => ix.len(),
+        }
+    }
+
+    /// Clones the current fixpoint set.
+    pub(crate) fn snapshot(&self) -> Vec<AtypicalCluster> {
+        match self {
+            LiveMacros::Naive(v) => v.clone(),
+            LiveMacros::Indexed(ix) => ix.snapshot(),
+        }
+    }
+
+    /// Counters from the indexed integrator (zeros on the naive path,
+    /// which does not instrument its scan).
+    pub(crate) fn stats(&self) -> IntegrationStats {
+        match self {
+            LiveMacros::Naive(_) => IntegrationStats::default(),
+            LiveMacros::Indexed(ix) => ix.stats(),
+        }
+    }
+
+    /// One incremental step of Algorithm 3: the candidate is compared
+    /// against the fixpoint set; a hit merges and re-enqueues, so the
+    /// pairwise-non-similar invariant is restored before returning.
+    fn integrate(&mut self, cluster: AtypicalCluster, params: &Params, ids: &mut ClusterIdGen) {
+        match self {
+            LiveMacros::Indexed(ix) => ix.admit(cluster, ids),
+            LiveMacros::Naive(macros) => {
+                let mut queue = vec![cluster];
+                while let Some(candidate) = queue.pop() {
+                    let hit = macros
+                        .iter()
+                        .position(|m| similarity(&candidate, m, params.balance) > params.delta_sim);
+                    match hit {
+                        Some(i) => {
+                            let existing = macros.swap_remove(i);
+                            queue.push(candidate.merge(&existing, ids.next_id()));
+                        }
+                        None => macros.push(candidate),
+                    }
+                }
+            }
+        }
+    }
+}
 
 pub(crate) struct LiveState {
     pub(crate) ids: ClusterIdGen,
@@ -28,18 +110,18 @@ pub(crate) struct LiveState {
     /// Per-day red-zone numerators `F(Wᵢ, day)`; retained after eviction.
     pub(crate) region_f_by_day: BTreeMap<u32, Vec<Severity>>,
     /// Live macro-clusters (pairwise similarity ≤ δsim invariant).
-    pub(crate) macros: Vec<AtypicalCluster>,
+    pub(crate) macros: LiveMacros,
     /// Days whose micro-clusters moved to the snapshot store.
     pub(crate) persisted_days: BTreeSet<u32>,
 }
 
 impl LiveState {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(params: &Params) -> Self {
         Self {
             ids: ClusterIdGen::new(1),
             micros_by_day: BTreeMap::new(),
             region_f_by_day: BTreeMap::new(),
-            macros: Vec::new(),
+            macros: LiveMacros::new(params),
             persisted_days: BTreeSet::new(),
         }
     }
@@ -62,28 +144,9 @@ impl LiveState {
         for (sensor, severity) in cluster.sf.iter() {
             f[partition.region_of(sensor).index()] += severity;
         }
-        self.integrate_macro(cluster.clone(), params);
+        self.macros
+            .integrate(cluster.clone(), params, &mut self.ids);
         self.micros_by_day.entry(day).or_default().push(cluster);
-    }
-
-    /// One incremental step of Algorithm 3: the candidate is compared
-    /// against the fixpoint set; a hit merges and re-enqueues, so the
-    /// pairwise-non-similar invariant is restored before returning.
-    fn integrate_macro(&mut self, cluster: AtypicalCluster, params: &Params) {
-        let mut queue = vec![cluster];
-        while let Some(candidate) = queue.pop() {
-            let hit = self
-                .macros
-                .iter()
-                .position(|m| similarity(&candidate, m, params.balance) > params.delta_sim);
-            match hit {
-                Some(i) => {
-                    let existing = self.macros.swap_remove(i);
-                    queue.push(candidate.merge(&existing, self.ids.next_id()));
-                }
-                None => self.macros.push(candidate),
-            }
-        }
     }
 
     /// Removes a completed day's micro-clusters for persistence. The
@@ -92,5 +155,64 @@ impl LiveState {
         let micros = self.micros_by_day.remove(&day)?;
         self.persisted_days.insert(day);
         Some(micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atypical::feature::{SpatialFeature, TemporalFeature};
+    use cps_core::{ClusterId, SensorId, TimeWindow};
+
+    fn cluster(id: u64, sensors: &[u32], windows: &[u32]) -> AtypicalCluster {
+        let sf: SpatialFeature = sensors
+            .iter()
+            .map(|&s| (SensorId::new(s), Severity::from_minutes(10.0)))
+            .collect();
+        let tf: TemporalFeature = windows
+            .iter()
+            .map(|&w| (TimeWindow::new(w), Severity::from_minutes(10.0)))
+            .collect();
+        AtypicalCluster::new(ClusterId::new(id), sf, tf)
+    }
+
+    /// The indexed live fixpoint must evolve exactly like the naive one
+    /// under the same admission sequence (same clusters, same ids: the
+    /// incremental step evaluates candidates in the same set order).
+    #[test]
+    fn indexed_live_macros_match_naive_admission() {
+        let params = Params::paper_defaults();
+        let mut naive = LiveMacros::Naive(Vec::new());
+        let mut indexed = LiveMacros::new(&params);
+        assert!(matches!(indexed, LiveMacros::Indexed(_)));
+        let mut ids_n = ClusterIdGen::new(100);
+        let mut ids_i = ClusterIdGen::new(100);
+        for i in 0..30u32 {
+            let base = (i % 7) * 2;
+            let c = cluster(
+                u64::from(i),
+                &[base, base + 1, base + 2],
+                &[base, base + 1, base + 2],
+            );
+            naive.integrate(c.clone(), &params, &mut ids_n);
+            indexed.integrate(c, &params, &mut ids_i);
+            assert_eq!(naive.snapshot(), indexed.snapshot(), "step {i}");
+        }
+        assert_eq!(naive.len(), indexed.len());
+        assert!(indexed.stats().merges > 0);
+    }
+
+    /// `indexed_integration = false` selects the naive container.
+    #[test]
+    fn params_flag_selects_strategy() {
+        let naive_params = Params::paper_defaults().with_indexed_integration(false);
+        assert!(matches!(
+            LiveMacros::new(&naive_params),
+            LiveMacros::Naive(_)
+        ));
+        assert_eq!(
+            LiveMacros::new(&naive_params).stats(),
+            IntegrationStats::default()
+        );
     }
 }

@@ -322,6 +322,13 @@ impl Merger {
         self.metrics()
             .macro_clusters
             .store(live.macros.len() as u64, Ordering::Relaxed);
+        let istats = live.macros.stats();
+        self.metrics()
+            .integration_candidates_pruned
+            .store(istats.candidates_pruned, Ordering::Relaxed);
+        self.metrics()
+            .integration_bound_skips
+            .store(istats.bound_skips, Ordering::Relaxed);
     }
 
     /// Persists (and evicts) every live day that is provably complete.

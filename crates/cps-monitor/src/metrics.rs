@@ -28,6 +28,14 @@ pub struct Metrics {
     pub events_discarded: AtomicU64,
     /// Live macro-clusters after the latest incremental integration.
     pub macro_clusters: AtomicU64,
+    /// Result-set members never compared during live integration because
+    /// they shared no sensor and no window with the arriving cluster
+    /// (gauge; zero when `indexed_integration` is off).
+    pub integration_candidates_pruned: AtomicU64,
+    /// Candidate comparisons skipped because the admissible similarity
+    /// upper bound already ruled them out (gauge; zero when
+    /// `indexed_integration` is off).
+    pub integration_bound_skips: AtomicU64,
     /// Day buckets persisted to the snapshot store.
     pub days_persisted: AtomicU64,
     /// Bytes written to the snapshot store.
@@ -54,6 +62,8 @@ impl Metrics {
             micro_clusters: AtomicU64::new(0),
             events_discarded: AtomicU64::new(0),
             macro_clusters: AtomicU64::new(0),
+            integration_candidates_pruned: AtomicU64::new(0),
+            integration_bound_skips: AtomicU64::new(0),
             days_persisted: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
             workers_dead: AtomicU64::new(0),
@@ -110,6 +120,10 @@ impl Metrics {
             micro_clusters: self.micro_clusters.load(Ordering::Relaxed),
             events_discarded: self.events_discarded.load(Ordering::Relaxed),
             macro_clusters: self.macro_clusters.load(Ordering::Relaxed),
+            integration_candidates_pruned: self
+                .integration_candidates_pruned
+                .load(Ordering::Relaxed),
+            integration_bound_skips: self.integration_bound_skips.load(Ordering::Relaxed),
             days_persisted: self.days_persisted.load(Ordering::Relaxed),
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
             workers_dead: self.workers_dead.load(Ordering::Relaxed),
@@ -137,6 +151,8 @@ pub struct MetricsSnapshot {
     pub micro_clusters: u64,
     pub events_discarded: u64,
     pub macro_clusters: u64,
+    pub integration_candidates_pruned: u64,
+    pub integration_bound_skips: u64,
     pub days_persisted: u64,
     pub snapshot_bytes: u64,
     pub workers_dead: u64,
@@ -163,7 +179,11 @@ impl fmt::Display for MetricsSnapshot {
             "micro-clusters      {:>10}  ({} discarded by trust filter)",
             self.micro_clusters, self.events_discarded
         )?;
-        writeln!(f, "macro-clusters      {:>10}", self.macro_clusters)?;
+        writeln!(
+            f,
+            "macro-clusters      {:>10}  ({} pruned, {} bound-skipped)",
+            self.macro_clusters, self.integration_candidates_pruned, self.integration_bound_skips
+        )?;
         writeln!(
             f,
             "days persisted      {:>10}  ({} bytes)",

@@ -107,7 +107,7 @@ impl MonitorService {
             params,
             spec,
             metrics: Metrics::new(config.shards),
-            live: Mutex::new(LiveState::new()),
+            live: Mutex::new(LiveState::new(&params)),
             store,
             started: Instant::now(),
         });
@@ -408,7 +408,7 @@ impl MonitorHandle {
     /// The live macro-clusters (Algorithm 3 fixpoint over every finalized
     /// micro-cluster so far).
     pub fn live_macro_clusters(&self) -> Vec<AtypicalCluster> {
-        self.shared.live.lock().macros.clone()
+        self.shared.live.lock().macros.snapshot()
     }
 
     /// Every live (not yet persisted) micro-cluster.

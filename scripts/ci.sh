@@ -35,4 +35,14 @@ cargo test --workspace -q
 echo "==> CPS_FAULT_SEED=42 cargo test -p cps-testkit -q"
 CPS_FAULT_SEED=42 cargo test -p cps-testkit -q
 
+# Integration bench smoke: tiny sizes, one iteration. The command itself
+# asserts the naive and indexed strategies produce identical macro-cluster
+# sets, so this gates the indexed hot path end to end. Writes to results/
+# (not the repo-root BENCH_integrate.json, which is the committed
+# full-scale perf-trajectory artifact from `repro integrate` in release).
+echo "==> repro integrate (smoke)"
+cargo run -q -p cps-bench --bin repro -- integrate \
+  --sizes 150,400,800 --iters 1 --bench-out results/BENCH_integrate_smoke.json
+test -s results/BENCH_integrate_smoke.json
+
 echo "CI green."
