@@ -9,9 +9,18 @@
 //! different *trees* of the forest; which levels are materialized is a
 //! storage/latency trade-off (§IV notes only low levels are usually
 //! pre-computed).
+//!
+//! Batch materialization ([`AtypicalForest::materialize_range`],
+//! [`ensure_weeks`](AtypicalForest::ensure_weeks)) fans independent
+//! sibling nodes out over [`Params::parallelism`] worker threads and
+//! commits results in canonical node-path order (ascending week index,
+//! then ascending month index), so the materialized forest — fresh merge
+//! ids included — is bit-identical at every thread count (see
+//! `crate::par`).
 
 use crate::cluster::AtypicalCluster;
 use crate::integrate::{integrate_aligned, IntegrationStats, TimeAlignment};
+use crate::par::integrate_siblings;
 use cps_core::fx::FxHashMap;
 use cps_core::ids::ClusterIdGen;
 use cps_core::{Params, TimeRange, WindowSpec};
@@ -24,6 +33,16 @@ pub enum AggregationPath {
     Calendar,
     /// day → {weekday, weekend} groups per week → month.
     WeekdayWeekend,
+}
+
+/// Which levels a [`AtypicalForest::materialize_range`] call built, in
+/// the canonical order they were committed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaterializedLevels {
+    /// Week indices covered by the range (whole weeks only).
+    pub weeks: Vec<u32>,
+    /// Month indices covered by the range (whole months only).
+    pub months: Vec<u32>,
 }
 
 /// Partially materialized forest of atypical clusters.
@@ -68,17 +87,37 @@ impl AtypicalForest {
         &self.params
     }
 
-    /// Integration with the forest's time-of-day alignment (recurring daily
-    /// events at the same clock time integrate across days). The strategy —
+    /// The forest's roll-up alignment: recurring daily events at the same
+    /// clock time integrate across days.
+    fn alignment(&self) -> TimeAlignment {
+        TimeAlignment::TimeOfDay {
+            windows_per_day: self.spec.windows_per_day(),
+        }
+    }
+
+    /// Integration with the forest's time-of-day alignment. The strategy —
     /// indexed candidate generation or naive scan — follows
     /// [`Params::indexed_integration`]; both produce identical roll-ups.
     fn run_integration(&mut self, inputs: Vec<AtypicalCluster>) -> Vec<AtypicalCluster> {
-        let alignment = TimeAlignment::TimeOfDay {
-            windows_per_day: self.spec.windows_per_day(),
-        };
+        let alignment = self.alignment();
         let (macros, stats) = integrate_aligned(inputs, &self.params, alignment, &mut self.ids);
         self.integration_stats.absorb(stats);
         macros
+    }
+
+    /// Integrates independent sibling nodes, fanning them out over
+    /// [`Params::parallelism`] workers and committing results in node
+    /// order — bit-identical to integrating each node sequentially.
+    fn run_sibling_integrations(
+        &mut self,
+        nodes: Vec<Vec<AtypicalCluster>>,
+    ) -> Vec<Vec<AtypicalCluster>> {
+        let alignment = self.alignment();
+        let threads = self.params.effective_parallelism();
+        let (outs, stats) =
+            integrate_siblings(nodes, &self.params, alignment, &mut self.ids, threads);
+        self.integration_stats.absorb(stats);
+        outs
     }
 
     /// Counters accumulated across all roll-up integrations so far.
@@ -123,51 +162,31 @@ impl AtypicalForest {
         self.spec.day_range(first_day, n_days)
     }
 
-    /// Week-level macro-clusters (integrated from the week's days,
-    /// memoized).
-    pub fn week(&mut self, week: u32) -> &[AtypicalCluster] {
-        if !self.weeks.contains_key(&week) {
-            let micros = self.micros_in_days(week * 7, 7);
-            let macros = self.run_integration(micros);
-            self.weeks.insert(week, macros);
-        }
-        &self.weeks[&week]
-    }
-
-    /// Month-level macro-clusters, integrated hierarchically from the
-    /// month's (30-day / ~4.3-week) week levels.
-    pub fn month(&mut self, month: u32) -> &[AtypicalCluster] {
-        if !self.months.contains_key(&month) {
-            // A 30-day month spans parts of weeks ⌊30m/7⌋ ..= ⌊(30m+29)/7⌋.
-            // Integrate directly over the month's days grouped through the
-            // week cache where the week lies entirely inside the month, and
-            // raw days otherwise.
-            let first_day = month * 30;
-            let last_day = first_day + 29;
-            let mut inputs: Vec<AtypicalCluster> = Vec::new();
-            let mut day = first_day;
-            while day <= last_day {
-                let week = day / 7;
-                let week_start = week * 7;
-                let week_end = week_start + 6;
-                if week_start >= first_day && week_end <= last_day && day == week_start {
-                    inputs.extend(self.week(week).to_vec());
-                    day = week_end + 1;
-                } else {
-                    inputs.extend(self.day(day).to_vec());
-                    day += 1;
-                }
+    /// The whole weeks inside `[first_day, last_day]` — the weeks the
+    /// hierarchical assembly of that range draws from the week cache.
+    /// Mirrors [`range_inputs`](Self::range_inputs) exactly.
+    fn whole_weeks_in_range(first_day: u32, last_day: u32) -> Vec<u32> {
+        let mut weeks = Vec::new();
+        let mut day = first_day;
+        while day <= last_day {
+            let week = day / 7;
+            let week_start = week * 7;
+            let week_end = week_start + 6;
+            if day == week_start && week_end <= last_day {
+                weeks.push(week);
+                day = week_end + 1;
+            } else {
+                day += 1;
             }
-            let macros = self.run_integration(inputs);
-            self.months.insert(month, macros);
         }
-        &self.months[&month]
+        weeks
     }
 
-    /// Integrates an arbitrary day range, reusing materialized week levels
-    /// where whole weeks are covered.
-    pub fn integrate_days(&mut self, first_day: u32, n_days: u32) -> Vec<AtypicalCluster> {
-        let last_day = first_day + n_days - 1;
+    /// The hierarchical input set of `[first_day, last_day]`: materialized
+    /// week levels where a whole week is covered, raw day leaves otherwise.
+    /// The covered whole weeks must already be materialized (see
+    /// [`ensure_weeks`](Self::ensure_weeks)).
+    fn range_inputs(&self, first_day: u32, last_day: u32) -> Vec<AtypicalCluster> {
         let mut inputs: Vec<AtypicalCluster> = Vec::new();
         let mut day = first_day;
         while day <= last_day {
@@ -175,13 +194,112 @@ impl AtypicalForest {
             let week_start = week * 7;
             let week_end = week_start + 6;
             if day == week_start && week_end <= last_day {
-                inputs.extend(self.week(week).to_vec());
+                let macros = self
+                    .weeks
+                    .get(&week)
+                    .expect("whole week materialized by ensure_weeks");
+                inputs.extend(macros.iter().cloned());
                 day = week_end + 1;
             } else {
                 inputs.extend(self.day(day).to_vec());
                 day += 1;
             }
         }
+        inputs
+    }
+
+    /// Materializes the given week levels. Uncached weeks are integrated
+    /// as parallel sibling nodes and committed in ascending week order —
+    /// the order the sequential pull API integrates them — so the cache
+    /// contents (ids included) are independent of the thread count.
+    pub fn ensure_weeks(&mut self, weeks: &[u32]) {
+        let mut missing: Vec<u32> = weeks
+            .iter()
+            .copied()
+            .filter(|w| !self.weeks.contains_key(w))
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            return;
+        }
+        let nodes: Vec<Vec<AtypicalCluster>> = missing
+            .iter()
+            .map(|&w| self.micros_in_days(w * 7, 7))
+            .collect();
+        let outs = self.run_sibling_integrations(nodes);
+        for (w, macros) in missing.into_iter().zip(outs) {
+            self.weeks.insert(w, macros);
+        }
+    }
+
+    /// Materializes the given month levels: first the whole weeks they
+    /// draw from (ascending, in parallel), then the uncached months as
+    /// parallel sibling nodes committed in ascending month order.
+    pub fn ensure_months(&mut self, months: &[u32]) {
+        let mut missing: Vec<u32> = months
+            .iter()
+            .copied()
+            .filter(|m| !self.months.contains_key(m))
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            return;
+        }
+        // A 30-day month spans parts of weeks ⌊30m/7⌋ ..= ⌊(30m+29)/7⌋;
+        // only the weeks entirely inside the month feed from the week
+        // cache, the straddling edges enter as raw days.
+        let weeks: Vec<u32> = missing
+            .iter()
+            .flat_map(|&m| Self::whole_weeks_in_range(m * 30, m * 30 + 29))
+            .collect();
+        self.ensure_weeks(&weeks);
+        let nodes: Vec<Vec<AtypicalCluster>> = missing
+            .iter()
+            .map(|&m| self.range_inputs(m * 30, m * 30 + 29))
+            .collect();
+        let outs = self.run_sibling_integrations(nodes);
+        for (m, macros) in missing.into_iter().zip(outs) {
+            self.months.insert(m, macros);
+        }
+    }
+
+    /// Week-level macro-clusters (integrated from the week's days,
+    /// memoized).
+    pub fn week(&mut self, week: u32) -> &[AtypicalCluster] {
+        self.ensure_weeks(&[week]);
+        &self.weeks[&week]
+    }
+
+    /// Month-level macro-clusters, integrated hierarchically from the
+    /// month's (30-day / ~4.3-week) week levels.
+    pub fn month(&mut self, month: u32) -> &[AtypicalCluster] {
+        self.ensure_months(&[month]);
+        &self.months[&month]
+    }
+
+    /// Materializes every week and month level whose span lies entirely
+    /// inside days `[first_day, first_day + n_days)`, level by level:
+    /// all weeks fan out first (ascending), then all months (ascending).
+    /// Output is bit-identical at every [`Params::parallelism`] setting.
+    pub fn materialize_range(&mut self, first_day: u32, n_days: u32) -> MaterializedLevels {
+        let last_day = first_day + n_days - 1;
+        let weeks = Self::whole_weeks_in_range(first_day, last_day);
+        self.ensure_weeks(&weeks);
+        let months: Vec<u32> = (first_day.div_ceil(30)..)
+            .take_while(|m| m * 30 + 29 <= last_day)
+            .collect();
+        self.ensure_months(&months);
+        MaterializedLevels { weeks, months }
+    }
+
+    /// Integrates an arbitrary day range, reusing materialized week levels
+    /// where whole weeks are covered.
+    pub fn integrate_days(&mut self, first_day: u32, n_days: u32) -> Vec<AtypicalCluster> {
+        let last_day = first_day + n_days - 1;
+        self.ensure_weeks(&Self::whole_weeks_in_range(first_day, last_day));
+        let inputs = self.range_inputs(first_day, last_day);
         self.run_integration(inputs)
     }
 
@@ -213,8 +331,13 @@ impl AtypicalForest {
                     };
                     bucket.extend(self.day(day).to_vec());
                 }
-                let weekday_macros = self.run_integration(weekday);
-                let weekend_macros = self.run_integration(weekend);
+                // The two trees are independent siblings; canonical order
+                // is weekday first, matching the sequential path.
+                let mut outs = self
+                    .run_sibling_integrations(vec![weekday, weekend])
+                    .into_iter();
+                let weekday_macros = outs.next().unwrap_or_default();
+                let weekend_macros = outs.next().unwrap_or_default();
                 vec![
                     ("weekday".to_string(), weekday_macros),
                     ("weekend".to_string(), weekend_macros),
@@ -374,6 +497,42 @@ mod tests {
         let after_first = stats;
         let _ = f.week(0); // memoized — no further integration work
         assert_eq!(f.integration_stats(), after_first);
+    }
+
+    #[test]
+    fn materialize_range_is_bit_identical_across_thread_counts() {
+        let build = |threads: usize| {
+            let params = Params::paper_defaults().with_parallelism(threads);
+            let mut f = AtypicalForest::new(WindowSpec::PEMS, params);
+            for day in 0..60 {
+                f.insert_day(
+                    day,
+                    vec![
+                        micro(u64::from(day) * 2, day, 0),
+                        micro(u64::from(day) * 2 + 1, day, 20 + day * 5),
+                    ],
+                );
+            }
+            let levels = f.materialize_range(0, 60);
+            let weeks: Vec<Vec<AtypicalCluster>> =
+                levels.weeks.iter().map(|&w| f.week(w).to_vec()).collect();
+            let months: Vec<Vec<AtypicalCluster>> =
+                levels.months.iter().map(|&m| f.month(m).to_vec()).collect();
+            (
+                levels,
+                weeks,
+                months,
+                f.integration_stats(),
+                f.id_gen().peek(),
+            )
+        };
+        let seq = build(1);
+        assert_eq!(seq.0.weeks, (0..8).collect::<Vec<u32>>());
+        assert_eq!(seq.0.months, vec![0, 1]);
+        for threads in [2, 3, 8] {
+            let par = build(threads);
+            assert_eq!(par, seq, "{threads} threads");
+        }
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct IntegrationStats {
 impl IntegrationStats {
     /// Folds another run's counters into this one (forest roll-ups
     /// accumulate stats across many integration calls).
+    ///
+    /// **Invariant: order-independent.** Every field is a plain counter
+    /// sum, so absorbing a set of per-node stats yields the same totals
+    /// in any order. The deterministic parallel engine (`crate::par`)
+    /// depends on this to report identical stats at every thread count;
+    /// `par::tests::stats_absorb_is_order_independent` is the regression
+    /// test that gates adding any order-sensitive field here.
     pub fn absorb(&mut self, other: IntegrationStats) {
         self.comparisons += other.comparisons;
         self.merges += other.merges;

@@ -28,6 +28,9 @@
 //!   clustering with the `All` / `Pru` / `Gui` strategies, backed by
 //!   Properties 4–5 (no false negatives).
 //! * [`eval`] — precision/recall harness against the `All` ground truth.
+//! * [`par`] — deterministic parallel sibling integration: forest
+//!   roll-ups fan out over `cps-par` workers and commit in canonical
+//!   node-path order, bit-identical to sequential at any thread count.
 //! * [`pipeline`] — end-to-end offline construction (Algorithm 1 over a
 //!   dataset store).
 //! * [`context`] — weather/accident context joins (§V-D extension).
@@ -83,6 +86,7 @@ pub mod forest;
 pub mod integrate;
 pub mod integrate_index;
 pub mod online;
+pub mod par;
 pub mod pipeline;
 pub mod predict;
 pub mod query;

@@ -1,0 +1,224 @@
+//! Deterministic parallel integration of sibling forest nodes.
+//!
+//! Sibling aggregation nodes (the weeks of a month, the weekday/weekend
+//! trees, the months of a range) are independent: each one integrates its
+//! own input multiset, and Property 3 (commutative/associative merge)
+//! guarantees each node's fixpoint depends only on its own input order —
+//! never on when its siblings run. That makes the forest embarrassingly
+//! parallel *across* nodes while staying sequential (and therefore
+//! byte-for-byte reproducible) *within* each node.
+//!
+//! The one shared resource is the cluster-id generator: Algorithm 2
+//! allocates a fresh id per merge, and the sequential code hands ids out
+//! in node-path order (node 0's merges first, then node 1's, ...). To
+//! keep parallel output **bit-identical** — fresh merge ids included —
+//! each parallel node integrates against a scratch generator based at
+//! [`TEMP_ID_BASE`], and results are committed in canonical node-path
+//! order: node `k`'s scratch ids `TEMP_ID_BASE + t` are rewritten to
+//! `base_k + t`, where `base_k` is the shared generator's position after
+//! nodes `0..k` committed. Because one merge allocates exactly one id,
+//! the rewritten sequence is the sequence the sequential run would have
+//! produced. Unmerged pass-through clusters keep their input ids and are
+//! never rewritten (their ids sit far below [`TEMP_ID_BASE`]).
+//!
+//! Statistics are committed in the same canonical order; every
+//! [`IntegrationStats`] field is a plain sum, so the totals are
+//! order-independent anyway (`stats_absorb_is_order_independent` pins
+//! that).
+
+use crate::cluster::AtypicalCluster;
+use crate::integrate::{integrate_aligned, IntegrationStats, TimeAlignment};
+use cps_core::ids::ClusterIdGen;
+use cps_core::{ClusterId, Params};
+
+/// Base of the scratch id range used while a sibling node integrates off
+/// to the side. Real cluster ids never reach this range (leaf ids are
+/// dense from 1, forest roll-up ids from 1 000 000), which is what lets
+/// the commit step tell fresh merge ids from pass-through input ids.
+pub const TEMP_ID_BASE: u64 = 1 << 62;
+
+/// Integrates each sibling node's input independently and returns the
+/// per-node macro-clusters, in the same node order.
+///
+/// `threads <= 1` runs the exact sequential path: one
+/// [`integrate_aligned`] call per node, in order, against the shared
+/// generator. Any other thread count fans the nodes out over a
+/// [`cps_par::Pool`] and commits results in node order as described in
+/// the module docs — the output (ids included) and the accumulated
+/// stats are bit-identical to the sequential path.
+pub fn integrate_siblings(
+    nodes: Vec<Vec<AtypicalCluster>>,
+    params: &Params,
+    alignment: TimeAlignment,
+    ids: &mut ClusterIdGen,
+    threads: usize,
+) -> (Vec<Vec<AtypicalCluster>>, IntegrationStats) {
+    let mut total = IntegrationStats::default();
+    if threads <= 1 || nodes.len() <= 1 {
+        // The pre-parallelism code path, bit for bit.
+        let mut out = Vec::with_capacity(nodes.len());
+        for inputs in nodes {
+            let (macros, stats) = integrate_aligned(inputs, params, alignment, ids);
+            total.absorb(stats);
+            out.push(macros);
+        }
+        return (out, total);
+    }
+
+    debug_assert!(
+        nodes.iter().flatten().all(|c| c.id.raw() < TEMP_ID_BASE),
+        "input ids must stay below the scratch id range"
+    );
+    let pool = cps_par::Pool::new(threads);
+    let results = pool.map(nodes, |_, inputs| {
+        let mut scratch = ClusterIdGen::new(TEMP_ID_BASE);
+        let (macros, stats) = integrate_aligned(inputs, params, alignment, &mut scratch);
+        (macros, stats, scratch.allocated(TEMP_ID_BASE))
+    });
+
+    // Commit in canonical node-path order: rebase each node's scratch ids
+    // onto the shared sequence, exactly where the sequential run would
+    // have allocated them.
+    let mut out = Vec::with_capacity(results.len());
+    for (mut macros, stats, allocated) in results {
+        let base = ids.peek();
+        for cluster in &mut macros {
+            if cluster.id.raw() >= TEMP_ID_BASE {
+                cluster.id = ClusterId::new(base + (cluster.id.raw() - TEMP_ID_BASE));
+            }
+        }
+        ids.advance(allocated);
+        total.absorb(stats);
+        out.push(macros);
+    }
+    (out, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{SpatialFeature, TemporalFeature};
+    use cps_core::{SensorId, Severity, TimeWindow};
+
+    fn cluster(id: u64, base: u32, n: u32) -> AtypicalCluster {
+        let sf: SpatialFeature = (base..base + n)
+            .map(|s| (SensorId::new(s), Severity::from_secs(60)))
+            .collect();
+        let tf: TemporalFeature = (base..base + n)
+            .map(|w| (TimeWindow::new(w), Severity::from_secs(60)))
+            .collect();
+        AtypicalCluster::new(ClusterId::new(id), sf, tf)
+    }
+
+    /// Three mergeable clusters around `site`, plus one loner.
+    fn node(site: u32, first_id: u64) -> Vec<AtypicalCluster> {
+        vec![
+            cluster(first_id, site, 4),
+            cluster(first_id + 1, site + 1, 4),
+            cluster(first_id + 2, site + 2, 4),
+            cluster(first_id + 3, site + 100, 3),
+        ]
+    }
+
+    #[test]
+    fn parallel_commit_reproduces_sequential_ids() {
+        let params = Params::paper_defaults();
+        let nodes: Vec<Vec<AtypicalCluster>> =
+            (0..6).map(|k| node(k * 300, u64::from(k) * 10)).collect();
+        let mut seq_ids = ClusterIdGen::new(500);
+        let (seq, seq_stats) = integrate_siblings(
+            nodes.clone(),
+            &params,
+            TimeAlignment::Absolute,
+            &mut seq_ids,
+            1,
+        );
+        for threads in [2, 3, 8] {
+            let mut par_ids = ClusterIdGen::new(500);
+            let (par, par_stats) = integrate_siblings(
+                nodes.clone(),
+                &params,
+                TimeAlignment::Absolute,
+                &mut par_ids,
+                threads,
+            );
+            assert_eq!(par, seq, "{threads} threads");
+            assert_eq!(par_stats, seq_stats, "{threads} threads");
+            assert_eq!(par_ids.peek(), seq_ids.peek(), "{threads} threads");
+        }
+        // The merge-heavy nodes really did allocate fresh ids.
+        assert!(seq_stats.merges > 0);
+        assert!(seq.iter().flatten().any(|c| c.id.raw() >= 500));
+    }
+
+    #[test]
+    fn pass_through_clusters_keep_their_input_ids() {
+        let params = Params::paper_defaults();
+        // Two nodes of mutually dissimilar clusters: nothing merges, so
+        // nothing may be renumbered and no id may be consumed.
+        let nodes = vec![
+            vec![cluster(7, 0, 3), cluster(8, 500, 3)],
+            vec![cluster(9, 1000, 3)],
+        ];
+        let mut ids = ClusterIdGen::new(42);
+        let (out, stats) = integrate_siblings(nodes, &params, TimeAlignment::Absolute, &mut ids, 4);
+        assert_eq!(stats.merges, 0);
+        assert_eq!(ids.peek(), 42, "no merge, no id allocated");
+        let got: Vec<u64> = out.iter().flatten().map(|c| c.id.raw()).collect();
+        assert_eq!(got, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn empty_and_single_node_inputs() {
+        let params = Params::paper_defaults();
+        let mut ids = ClusterIdGen::new(1);
+        let (out, stats) =
+            integrate_siblings(vec![], &params, TimeAlignment::Absolute, &mut ids, 8);
+        assert!(out.is_empty());
+        assert_eq!(stats, IntegrationStats::default());
+        let (out, _) = integrate_siblings(
+            vec![vec![cluster(1, 0, 3)]],
+            &params,
+            TimeAlignment::Absolute,
+            &mut ids,
+            8,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 1);
+    }
+
+    /// The regression test for order-independent stats accumulation:
+    /// absorbing per-node stats in any order yields the same totals,
+    /// because every field is a plain counter sum. If a traversal-order-
+    /// dependent field (a "last seen", a max over an unspecified order,
+    /// an average of averages) is ever added to [`IntegrationStats`],
+    /// this test fails and the field must either be dropped or replaced
+    /// by an order-free formulation before the parallel engine can
+    /// accumulate it.
+    #[test]
+    fn stats_absorb_is_order_independent() {
+        let parts: Vec<IntegrationStats> = (0..7)
+            .map(|k| IntegrationStats {
+                comparisons: 100 + k,
+                merges: 10 + k,
+                candidates_pruned: 1000 + 3 * k,
+                bound_skips: 7 * k,
+            })
+            .collect();
+        let mut forward = IntegrationStats::default();
+        for s in &parts {
+            forward.absorb(*s);
+        }
+        // Reverse order and a rotated order must agree with forward.
+        let mut reverse = IntegrationStats::default();
+        for s in parts.iter().rev() {
+            reverse.absorb(*s);
+        }
+        let mut rotated = IntegrationStats::default();
+        for i in 0..parts.len() {
+            rotated.absorb(parts[(i + 3) % parts.len()]);
+        }
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, rotated);
+    }
+}

@@ -33,6 +33,20 @@ pub struct ConstructionStats {
     pub n_records: usize,
 }
 
+impl ConstructionStats {
+    /// Adds another run's counters into this one. Every field is a plain
+    /// sum, so accumulation order does not matter — the parallel leaf
+    /// build commits per-day stats in day order purely for consistency
+    /// with the id rebase, not because the totals need it.
+    pub fn absorb(&mut self, other: ConstructionStats) {
+        self.n_events += other.n_events;
+        self.n_micro_clusters += other.n_micro_clusters;
+        self.event_bytes += other.event_bytes;
+        self.cluster_bytes += other.cluster_bytes;
+        self.n_records += other.n_records;
+    }
+}
+
 /// Elapsed-time + size result of a construction run.
 #[derive(Debug)]
 pub struct Construction {
@@ -74,6 +88,11 @@ pub fn day_micro_clusters(
 }
 
 /// Builds a forest from in-memory per-day record sets.
+///
+/// Leaf extraction fans out over [`Params::parallelism`] worker threads;
+/// the result is bit-identical at every setting (see
+/// [`build_forest_from_records_parallel`]), and `parallelism = 1` runs
+/// the plain sequential loop on the calling thread.
 pub fn build_forest_from_records<I>(
     days: I,
     network: &RoadNetwork,
@@ -83,29 +102,24 @@ pub fn build_forest_from_records<I>(
 where
     I: IntoIterator<Item = (u32, Vec<AtypicalRecord>)>,
 {
-    let start = Instant::now();
-    let mut forest = AtypicalForest::new(spec, *params);
-    let mut stats = ConstructionStats::default();
-    let mut ids = ClusterIdGen::new(1);
-    for (day, records) in days {
-        let clusters = day_micro_clusters(&records, network, params, spec, &mut ids, &mut stats);
-        forest.insert_day(day, clusters);
-    }
-    Construction {
-        forest,
-        stats,
-        elapsed: start.elapsed(),
-    }
+    build_forest_from_records_parallel(
+        days.into_iter().collect(),
+        network,
+        params,
+        spec,
+        params.effective_parallelism(),
+    )
 }
 
 /// Builds a forest from in-memory per-day record sets, extracting days in
-/// parallel.
+/// parallel on an explicit number of worker threads.
 ///
 /// Days are independent units of Algorithm 1 (events never span the
 /// per-day partition the forest stores), so extraction parallelizes
-/// embarrassingly; cluster ids are reassigned deterministically by day
-/// order afterwards so the result is byte-identical to the sequential
-/// pipeline regardless of thread scheduling.
+/// embarrassingly. Each worker allocates scratch cluster ids; afterwards
+/// ids are rebased deterministically in input order, so the result is
+/// byte-identical to the sequential pipeline regardless of thread count
+/// or scheduling. `threads <= 1` runs the exact sequential code path.
 pub fn build_forest_from_records_parallel(
     days: Vec<(u32, Vec<AtypicalRecord>)>,
     network: &RoadNetwork,
@@ -114,45 +128,39 @@ pub fn build_forest_from_records_parallel(
     threads: usize,
 ) -> Construction {
     let start = Instant::now();
-    let threads = threads.max(1);
-    let queue = crossbeam::queue::SegQueue::new();
-    for item in days.into_iter() {
-        queue.push(item);
-    }
-    let results: parking_lot::Mutex<Vec<(u32, Vec<AtypicalCluster>, ConstructionStats)>> =
-        parking_lot::Mutex::new(Vec::new());
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                // Worker-local ids are temporary; reassigned below.
-                let mut ids = ClusterIdGen::new(1);
-                while let Some((day, records)) = queue.pop() {
-                    let mut stats = ConstructionStats::default();
-                    let clusters =
-                        day_micro_clusters(&records, network, params, spec, &mut ids, &mut stats);
-                    results.lock().push((day, clusters, stats));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    let mut per_day = results.into_inner();
-    per_day.sort_by_key(|&(day, _, _)| day);
-    // Deterministic id reassignment in day order.
-    let mut ids = ClusterIdGen::new(1);
     let mut forest = AtypicalForest::new(spec, *params);
     let mut stats = ConstructionStats::default();
+    let mut ids = ClusterIdGen::new(1);
+    if threads <= 1 {
+        for (day, records) in days {
+            let clusters =
+                day_micro_clusters(&records, network, params, spec, &mut ids, &mut stats);
+            forest.insert_day(day, clusters);
+        }
+        return Construction {
+            forest,
+            stats,
+            elapsed: start.elapsed(),
+        };
+    }
+
+    let pool = cps_par::Pool::new(threads);
+    let per_day = pool.map(days, |_, (day, records)| {
+        // Worker-local ids are scratch; rebased below in input order.
+        let mut ids = ClusterIdGen::new(1);
+        let mut day_stats = ConstructionStats::default();
+        let clusters =
+            day_micro_clusters(&records, network, params, spec, &mut ids, &mut day_stats);
+        (day, clusters, day_stats)
+    });
+    // Commit in input order — the order the sequential loop would have
+    // processed — rebasing each day's dense scratch ids onto the shared
+    // sequence.
     for (day, mut clusters, day_stats) in per_day {
         for c in &mut clusters {
             c.id = ids.next_id();
         }
-        stats.n_events += day_stats.n_events;
-        stats.n_micro_clusters += day_stats.n_micro_clusters;
-        stats.event_bytes += day_stats.event_bytes;
-        stats.cluster_bytes += day_stats.cluster_bytes;
-        stats.n_records += day_stats.n_records;
+        stats.absorb(day_stats);
         forest.insert_day(day, clusters);
     }
     Construction {

@@ -1,0 +1,277 @@
+//! Differential tests: the parallel construction engine against the
+//! sequential oracle.
+//!
+//! Every parallel path — sibling roll-ups ([`integrate_siblings`]), leaf
+//! construction ([`build_forest_from_records_parallel`]), batch
+//! materialization ([`AtypicalForest::materialize_range`]) and the
+//! aggregation paths ([`AtypicalForest::integrate_by_path`]) — claims to
+//! be **bit-identical** to the `threads == 1` build: same clusters, same
+//! result order, same fresh merge IDs, same id-generator position, same
+//! accumulated stats. These tests check that claim across the full
+//! matrix of thread counts {1, 2, 3, 8}, both time alignments, all five
+//! balance functions, and an adversarially skewed workload that forces
+//! the scheduler to actually steal.
+//!
+//! Random inputs are seeded through `cps-testkit`; rerun any failure
+//! with `CPS_FAULT_SEED=<seed>`. CI additionally reruns this suite with
+//! `CPS_PAR_THREADS=<n,n,...>` to pin the sweep (see `scripts/ci.sh`).
+
+use atypical::forest::{AggregationPath, AtypicalForest, MaterializedLevels};
+use atypical::integrate::{integrate_aligned, IntegrationStats, TimeAlignment};
+use atypical::par::integrate_siblings;
+use atypical::pipeline::{build_forest_from_records_parallel, ConstructionStats};
+use atypical::AtypicalCluster;
+use cps_core::ids::ClusterIdGen;
+use cps_core::{BalanceFunction, Params};
+use cps_sim::{SimConfig, TrafficSim};
+use cps_testkit::fixtures::random_clusters;
+use cps_testkit::run_seeded;
+
+const ALIGNMENTS: [TimeAlignment; 2] = [
+    TimeAlignment::Absolute,
+    TimeAlignment::TimeOfDay {
+        windows_per_day: 96,
+    },
+];
+
+/// Parallel thread counts to test against the sequential baseline.
+/// `CPS_PAR_THREADS=n,n,...` overrides the default {2, 3, 8} sweep so CI
+/// can pin specific widths.
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("CPS_PAR_THREADS") {
+        Ok(text) => text
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("CPS_PAR_THREADS is not a thread list: {text:?}"))
+            })
+            .collect(),
+        Err(_) => vec![2, 3, 8],
+    }
+}
+
+/// Runs the sibling roll-up at one thread count from a fresh id
+/// generator; returns everything that must match bit-for-bit.
+fn siblings_at(
+    nodes: &[Vec<AtypicalCluster>],
+    params: &Params,
+    alignment: TimeAlignment,
+    threads: usize,
+) -> (Vec<Vec<AtypicalCluster>>, IntegrationStats, u64) {
+    let mut ids = ClusterIdGen::new(1_000_000);
+    let (outs, stats) = integrate_siblings(nodes.to_vec(), params, alignment, &mut ids, threads);
+    (outs, stats, ids.peek())
+}
+
+#[test]
+fn sibling_rollups_bit_identical_for_all_alignments_and_balances() {
+    run_seeded(
+        "sibling_rollups_bit_identical_for_all_alignments_and_balances",
+        |seed| {
+            // Six sibling nodes of random micro-clusters — the shape of a
+            // week wave (or a month's week fan-out).
+            let nodes: Vec<Vec<AtypicalCluster>> = (0..6u64)
+                .map(|i| random_clusters(seed.wrapping_add(i), 25, 6))
+                .collect();
+            let mut any_merges = false;
+            for alignment in ALIGNMENTS {
+                for g in BalanceFunction::ALL {
+                    let params = Params::paper_defaults().with_balance(g);
+                    let baseline = siblings_at(&nodes, &params, alignment, 1);
+                    any_merges |= baseline.1.merges > 0;
+                    for threads in thread_matrix() {
+                        let parallel = siblings_at(&nodes, &params, alignment, threads);
+                        assert_eq!(
+                            parallel, baseline,
+                            "seed {seed} {alignment:?} {g:?} diverged at {threads} threads"
+                        );
+                    }
+                }
+            }
+            // The matrix is vacuous unless fresh merge IDs were actually
+            // minted somewhere — that is the hard part of bit-identity.
+            assert!(any_merges, "seed {seed}: no config merged anything");
+        },
+    );
+}
+
+#[test]
+fn sibling_rollups_bit_identical_across_thresholds() {
+    run_seeded("sibling_rollups_bit_identical_across_thresholds", |seed| {
+        // Low δsim forces merge cascades inside every node (long fresh-id
+        // runs to remap); high δsim makes most clusters pass through with
+        // their input ids. Both regimes must commit identically.
+        let nodes: Vec<Vec<AtypicalCluster>> = (0..4u64)
+            .map(|i| random_clusters(seed.wrapping_add(10 + i), 30, 5))
+            .collect();
+        for &delta_sim in &[0.05, 0.3, 0.5, 0.9] {
+            let params = Params::paper_defaults().with_delta_sim(delta_sim);
+            for alignment in ALIGNMENTS {
+                let baseline = siblings_at(&nodes, &params, alignment, 1);
+                for threads in thread_matrix() {
+                    assert_eq!(
+                        siblings_at(&nodes, &params, alignment, threads),
+                        baseline,
+                        "seed {seed} δsim {delta_sim} {alignment:?} at {threads} threads"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// One full forest build — leaves, week/month waves, both aggregation
+/// paths — at a given thread count, from simulated records.
+#[allow(clippy::type_complexity)]
+fn forest_at(
+    day_records: &[(u32, Vec<cps_core::AtypicalRecord>)],
+    sim: &TrafficSim,
+    threads: usize,
+) -> (
+    Vec<Vec<AtypicalCluster>>,           // day leaves
+    MaterializedLevels,                  // which weeks/months built
+    Vec<Vec<AtypicalCluster>>,           // week level
+    Vec<Vec<AtypicalCluster>>,           // month level
+    Vec<(String, Vec<AtypicalCluster>)>, // calendar path
+    Vec<(String, Vec<AtypicalCluster>)>, // weekday/weekend path
+    ConstructionStats,
+    IntegrationStats,
+    u64, // id-generator position after everything
+) {
+    let params = Params::paper_defaults().with_parallelism(threads);
+    let spec = sim.config().spec;
+    let n_days = day_records.len() as u32;
+    let built = build_forest_from_records_parallel(
+        day_records.to_vec(),
+        sim.network(),
+        &params,
+        spec,
+        threads,
+    );
+    let mut forest: AtypicalForest = built.forest;
+    let levels = forest.materialize_range(0, n_days);
+    let weeks = levels
+        .weeks
+        .iter()
+        .map(|&w| forest.week(w).to_vec())
+        .collect();
+    let months = levels
+        .months
+        .iter()
+        .map(|&m| forest.month(m).to_vec())
+        .collect();
+    let calendar = forest.integrate_by_path(0, n_days, AggregationPath::Calendar);
+    let split = forest.integrate_by_path(0, n_days, AggregationPath::WeekdayWeekend);
+    let integration = forest.integration_stats();
+    let peek = forest.id_gen().peek();
+    (
+        (0..n_days).map(|d| forest.day(d).to_vec()).collect(),
+        levels,
+        weeks,
+        months,
+        calendar,
+        split,
+        built.stats,
+        integration,
+        peek,
+    )
+}
+
+#[test]
+fn forest_pipeline_bit_identical_across_thread_counts() {
+    run_seeded(
+        "forest_pipeline_bit_identical_across_thread_counts",
+        |seed| {
+            // 31 simulated days: 4 whole weeks + 1 whole month, so every
+            // level and both aggregation paths exercise the parallel waves.
+            let sim = TrafficSim::new(SimConfig::new(cps_sim::Scale::Tiny, seed));
+            let day_records: Vec<_> = (0..31).map(|d| (d, sim.atypical_day(d))).collect();
+            let baseline = forest_at(&day_records, &sim, 1);
+            assert_eq!(baseline.1.weeks, vec![0, 1, 2, 3], "seed {seed}");
+            assert_eq!(baseline.1.months, vec![0], "seed {seed}");
+            for threads in thread_matrix() {
+                let parallel = forest_at(&day_records, &sim, threads);
+                assert_eq!(
+                    parallel, baseline,
+                    "seed {seed}: forest diverged at {threads} threads"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn skewed_sibling_sizes_stay_bit_identical() {
+    run_seeded("skewed_sibling_sizes_stay_bit_identical", |seed| {
+        // Adversarial skew: node 0 dwarfs the rest, so with w workers the
+        // owner is pinned on it while thieves drain its queued siblings —
+        // the schedule that most reorders physical execution.
+        let mut nodes = vec![random_clusters(seed, 220, 6)];
+        nodes.extend((1..8u64).map(|i| random_clusters(seed.wrapping_add(i), 3, 4)));
+        // δsim low enough that the big node cascades merges no matter the
+        // seed — fresh-id remapping is what the skew test must stress.
+        let params = Params::paper_defaults().with_delta_sim(0.2);
+        for alignment in ALIGNMENTS {
+            let baseline = siblings_at(&nodes, &params, alignment, 1);
+            assert!(baseline.1.merges > 0, "seed {seed}: skew case must merge");
+            for threads in thread_matrix() {
+                assert_eq!(
+                    siblings_at(&nodes, &params, alignment, threads),
+                    baseline,
+                    "seed {seed} {alignment:?}: skewed nodes diverged at {threads} threads"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn forced_steals_with_real_integration_payloads() {
+    run_seeded("forced_steals_with_real_integration_payloads", |seed| {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Deterministically force stealing: the task at index 0 spins
+        // until every other task has finished, so its owner's remaining
+        // queue items can only complete by being stolen. Each task is a
+        // real node integration; outputs must still land in input order
+        // and match the sequential per-node results exactly.
+        let nodes: Vec<Vec<AtypicalCluster>> = (0..9u64)
+            .map(|i| random_clusters(seed.wrapping_add(i), 12, 5))
+            .collect();
+        let params = Params::paper_defaults();
+        let expected: Vec<_> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let mut ids = ClusterIdGen::new(1_000_000 * (i as u64 + 1));
+                integrate_aligned(node.clone(), &params, TimeAlignment::Absolute, &mut ids)
+            })
+            .collect();
+
+        let n = nodes.len();
+        let done = AtomicUsize::new(0);
+        let pool = cps_par::Pool::new(3);
+        let (outs, run_stats) = pool.map_with_stats(nodes, |i, node| {
+            if i == 0 {
+                while done.load(Ordering::SeqCst) < n - 1 {
+                    // Yield rather than spin: the CI host may have a
+                    // single CPU, where spinning starves the thieves.
+                    std::thread::yield_now();
+                }
+            }
+            let mut ids = ClusterIdGen::new(1_000_000 * (i as u64 + 1));
+            let out = integrate_aligned(node, &params, TimeAlignment::Absolute, &mut ids);
+            if i != 0 {
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+            out
+        });
+        assert_eq!(outs, expected, "seed {seed}: stolen tasks changed output");
+        assert_eq!(run_stats.tasks, n as u64);
+        assert!(
+            run_stats.steals > 0,
+            "seed {seed}: blocking worker 0 must force at least one steal"
+        );
+    });
+}

@@ -1,0 +1,161 @@
+//! Property 3 (§IV-B): integration output as a *set of events* does not
+//! depend on the order clusters are admitted to the queue.
+//!
+//! The property holds unconditionally only when no pairwise similarity
+//! straddles δsim under some-but-not-all merge orders: a pair at exactly
+//! the threshold can merge in one admission order and stay split in
+//! another, which is why the parallel engine (`atypical::par`) never
+//! relies on permutation invariance — it fixes the per-node input order
+//! and reproduces the sequential schedule bit-for-bit
+//! (determinism-given-order, the stronger operational guarantee).
+//!
+//! These tests pin the paper's property on inputs where it *is* exact:
+//! well-separated groups whose members share their whole key set
+//! (within-group similarity ≡ 1 for every balance function, because both
+//! overlap fractions are 1 regardless of severities) and whose groups
+//! share nothing (cross-group similarity ≡ 0). Every admission order
+//! must then collapse each group to one macro-cluster — the same
+//! multiset of `(SF, TF)` contents, checked with
+//! [`cps_testkit::canonicalize`] — with the same merge count.
+
+use atypical::integrate::{integrate_aligned, is_fixpoint_aligned, TimeAlignment};
+use atypical::AtypicalCluster;
+use cps_core::ids::ClusterIdGen;
+use cps_core::{BalanceFunction, ClusterId, Params, SensorId, Severity, TimeWindow};
+use cps_testkit::{canonicalize, run_seeded};
+
+const ALIGNMENTS: [TimeAlignment; 2] = [
+    TimeAlignment::Absolute,
+    TimeAlignment::TimeOfDay {
+        windows_per_day: 96,
+    },
+];
+
+/// One member of group `group`: the group's full sensor/window key set,
+/// with a per-member severity so merged masses differ member-to-member.
+/// SF and TF totals are equal by construction (no sink key — a shared
+/// sink would couple the groups).
+fn member(group: u32, index: u32, mass_secs: u64) -> AtypicalCluster {
+    let base = group * 100;
+    let sf = [
+        (SensorId::new(base), Severity::from_secs(mass_secs)),
+        (SensorId::new(base + 1), Severity::from_secs(mass_secs)),
+    ];
+    let tf = [
+        (TimeWindow::new(base), Severity::from_secs(mass_secs)),
+        (TimeWindow::new(base + 1), Severity::from_secs(mass_secs)),
+    ];
+    AtypicalCluster::new(
+        ClusterId::new(u64::from(group) * 1_000 + u64::from(index)),
+        sf.into_iter().collect(),
+        tf.into_iter().collect(),
+    )
+}
+
+/// `n_groups` disjoint groups of `per_group` clusters with wildly varying
+/// member masses (1 s … hours), to rule out any hidden mass-order
+/// dependence in the merged totals.
+fn separated_groups(n_groups: u32, per_group: u32) -> Vec<AtypicalCluster> {
+    (0..n_groups)
+        .flat_map(|g| {
+            (0..per_group).map(move |j| {
+                let mass = [1, 60, 3_600, 7, 600][(g + j) as usize % 5] * (u64::from(j) + 1);
+                member(g, j, mass)
+            })
+        })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates from an LCG stream, as in the other
+/// differential suites.
+fn shuffle(input: &mut [AtypicalCluster], state: &mut u64) {
+    for i in (1..input.len()).rev() {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (*state >> 33) as usize % (i + 1);
+        input.swap(i, j);
+    }
+}
+
+#[test]
+fn integration_is_permutation_invariant_on_separated_groups() {
+    run_seeded(
+        "integration_is_permutation_invariant_on_separated_groups",
+        |seed| {
+            let n_groups = 7u32;
+            let per_group = 5u32;
+            let input = separated_groups(n_groups, per_group);
+            for alignment in ALIGNMENTS {
+                for g in BalanceFunction::ALL {
+                    let params = Params::paper_defaults().with_balance(g);
+                    let mut ids = ClusterIdGen::new(1);
+                    let (baseline, baseline_stats) =
+                        integrate_aligned(input.clone(), &params, alignment, &mut ids);
+                    assert_eq!(baseline.len(), n_groups as usize, "{alignment:?} {g:?}");
+                    assert_eq!(
+                        baseline_stats.merges,
+                        u64::from(n_groups * (per_group - 1)),
+                        "{alignment:?} {g:?}: each group must chain its merges"
+                    );
+                    let canonical_baseline = canonicalize(&baseline);
+
+                    let mut state = seed | 1;
+                    for round in 0..12 {
+                        let mut permuted = input.clone();
+                        shuffle(&mut permuted, &mut state);
+                        let mut ids = ClusterIdGen::new(1);
+                        let (out, stats) =
+                            integrate_aligned(permuted, &params, alignment, &mut ids);
+                        assert!(
+                            is_fixpoint_aligned(&out, &params, alignment),
+                            "seed {seed} round {round} {alignment:?} {g:?}: not a fixpoint"
+                        );
+                        assert_eq!(
+                            canonicalize(&out),
+                            canonical_baseline,
+                            "seed {seed} round {round} {alignment:?} {g:?}: \
+                             macro-cluster multiset changed under permutation"
+                        );
+                        assert_eq!(
+                            stats.merges, baseline_stats.merges,
+                            "seed {seed} round {round} {alignment:?} {g:?}: merge count changed"
+                        );
+                    }
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn permutation_invariance_survives_threshold_sweeps() {
+    // With within-group similarity pinned at 1 and cross-group at 0, the
+    // grouping is invariant for *every* δsim in (0, 1) — sweeping it
+    // checks that no threshold interacts with admission order here.
+    run_seeded("permutation_invariance_survives_threshold_sweeps", |seed| {
+        let input = separated_groups(5, 4);
+        for &delta_sim in &[0.01, 0.3, 0.5, 0.8, 0.99] {
+            let params = Params::paper_defaults().with_delta_sim(delta_sim);
+            let mut ids = ClusterIdGen::new(1);
+            let (baseline, _) =
+                integrate_aligned(input.clone(), &params, TimeAlignment::Absolute, &mut ids);
+            let canonical_baseline = canonicalize(&baseline);
+            assert_eq!(baseline.len(), 5, "δsim {delta_sim}");
+
+            let mut state = seed.wrapping_add(delta_sim.to_bits()) | 1;
+            for round in 0..6 {
+                let mut permuted = input.clone();
+                shuffle(&mut permuted, &mut state);
+                let mut ids = ClusterIdGen::new(1);
+                let (out, _) =
+                    integrate_aligned(permuted, &params, TimeAlignment::Absolute, &mut ids);
+                assert_eq!(
+                    canonicalize(&out),
+                    canonical_baseline,
+                    "seed {seed} δsim {delta_sim} round {round}"
+                );
+            }
+        }
+    });
+}

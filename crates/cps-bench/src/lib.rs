@@ -18,6 +18,7 @@
 #![warn(clippy::all)]
 
 pub mod figs;
+pub mod forest_bench;
 pub mod integrate_bench;
 pub mod table;
 pub mod workbench;

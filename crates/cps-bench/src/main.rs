@@ -13,7 +13,8 @@
 //!   fig21            Figure 21: severity of significant clusters vs δsim × g
 //!   ablate           Red-zone and retrieval ablations
 //!   integrate        Naive vs indexed integration perf trajectory
-//!   all              Everything above (except `integrate`)
+//!   forest           Parallel forest construction: thread sweep + bit-identity
+//!   all              Everything above (except `integrate` and `forest`)
 //!
 //! Options:
 //!   --scale <tiny|small|medium|paper>   deployment scale (default tiny)
@@ -22,8 +23,10 @@
 //!   --days <n>                          days per dataset (default 30)
 //!   --out <dir>                         results directory (default results/)
 //!   --sizes <n,n,...>                   `integrate` input sizes (default 1000,5000,20000)
-//!   --iters <n>                         `integrate` reps per size (default 3)
-//!   --bench-out <file>                  `integrate` artifact (default BENCH_integrate.json)
+//!   --threads <n,n,...>                 `forest` thread sweep (default 1,2,4,8)
+//!   --iters <n>                         `integrate`/`forest` reps (default 3)
+//!   --bench-out <file>                  bench artifact (default BENCH_integrate.json
+//!                                       or BENCH_forest.json by command)
 //! ```
 
 use cps_bench::figs;
@@ -40,8 +43,9 @@ struct Args {
     days: u32,
     out: String,
     sizes: Vec<usize>,
+    threads: Vec<usize>,
     iters: u32,
-    bench_out: String,
+    bench_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,8 +57,9 @@ fn parse_args() -> Result<Args, String> {
         days: 30,
         out: "results".to_string(),
         sizes: vec![1_000, 5_000, 20_000],
+        threads: vec![1, 2, 4, 8],
         iters: 3,
-        bench_out: "BENCH_integrate.json".to_string(),
+        bench_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -85,8 +90,21 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--sizes needs at least one size".to_string());
                 }
             }
+            "--threads" => {
+                args.threads = grab("--threads")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--threads: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if args.threads.is_empty() || args.threads.contains(&0) {
+                    return Err("--threads needs positive thread counts".to_string());
+                }
+            }
             "--iters" => args.iters = grab("--iters")?.parse().map_err(|e| format!("{e}"))?,
-            "--bench-out" => args.bench_out = grab("--bench-out")?,
+            "--bench-out" => args.bench_out = Some(grab("--bench-out")?),
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
                 args.command = cmd.to_string();
             }
@@ -117,13 +135,13 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] [--sizes N,N] [--iters N] [--bench-out FILE] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|integrate|all>");
+            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] [--sizes N,N] [--threads N,N] [--iters N] [--bench-out FILE] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|integrate|forest|all>");
             return ExitCode::FAILURE;
         }
     };
 
-    // `integrate` needs no workbench (its inputs are synthetic): run it
-    // before the expensive dataset preparation.
+    // `integrate` and `forest` need no workbench (their inputs are
+    // synthetic): run them before the expensive dataset preparation.
     if args.command == "integrate" {
         let config = cps_bench::integrate_bench::IntegrateBenchConfig {
             sizes: args.sizes.clone(),
@@ -131,8 +149,27 @@ fn main() -> ExitCode {
             seed: args.seed,
         };
         let results = cps_bench::integrate_bench::run(&config);
-        let path = std::path::Path::new(&args.bench_out);
+        let out = args.bench_out.as_deref().unwrap_or("BENCH_integrate.json");
+        let path = std::path::Path::new(out);
         if let Err(e) = cps_bench::integrate_bench::save_json(&results, &config, path) {
+            eprintln!("error saving {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    if args.command == "forest" {
+        let config = cps_bench::forest_bench::ForestBenchConfig {
+            scale: args.scale,
+            seed: args.seed,
+            days: args.days,
+            threads: args.threads.clone(),
+            iters: args.iters,
+        };
+        let results = cps_bench::forest_bench::run(&config);
+        let out = args.bench_out.as_deref().unwrap_or("BENCH_forest.json");
+        let path = std::path::Path::new(out);
+        if let Err(e) = cps_bench::forest_bench::save_json(&results, &config, path) {
             eprintln!("error saving {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

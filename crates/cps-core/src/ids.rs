@@ -153,6 +153,21 @@ impl ClusterIdGen {
     pub fn allocated(&self, first: u64) -> u64 {
         self.next - first
     }
+
+    /// The id the next [`next_id`](Self::next_id) call will return,
+    /// without allocating it.
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
+
+    /// Skips `n` ids, as if [`next_id`](Self::next_id) had been called
+    /// `n` times. The deterministic parallel roll-up runs each sibling
+    /// node against a scratch generator and then advances the shared one
+    /// by the node's allocation count, reproducing the sequential id
+    /// sequence exactly (see `atypical::par`).
+    pub fn advance(&mut self, n: u64) {
+        self.next += n;
+    }
 }
 
 impl Default for ClusterIdGen {
@@ -200,6 +215,20 @@ mod tests {
         assert_eq!(g.next_id(), ClusterId::new(10));
         assert_eq!(g.next_id(), ClusterId::new(11));
         assert_eq!(g.allocated(10), 2);
+    }
+
+    #[test]
+    fn peek_and_advance_mirror_next_id() {
+        let mut g = ClusterIdGen::new(100);
+        assert_eq!(g.peek(), 100);
+        g.advance(3);
+        assert_eq!(g.peek(), 103);
+        assert_eq!(g.next_id(), ClusterId::new(103));
+        let mut byhand = ClusterIdGen::new(100);
+        for _ in 0..3 {
+            byhand.next_id();
+        }
+        assert_eq!(byhand.peek(), 103, "advance(n) == n next_id() calls");
     }
 
     #[test]

@@ -111,6 +111,13 @@ pub struct Params {
     /// implies zero similarity — it only skips provably sub-threshold
     /// comparisons. Default `true`; turn off to run the naive oracle.
     pub indexed_integration: bool,
+    /// Worker threads for offline forest/cube construction (leaf builds,
+    /// sibling roll-ups, cuboid materialization). `0` means "all available
+    /// cores" (the default); `1` runs the exact sequential code path. Any
+    /// value produces **bit-identical** output — merge ids included —
+    /// because sibling results are committed in canonical node-path order
+    /// (see DESIGN.md, "Deterministic parallelism").
+    pub parallelism: usize,
 }
 
 impl Params {
@@ -125,6 +132,20 @@ impl Params {
             balance: BalanceFunction::ArithmeticMean,
             min_event_records: 2,
             indexed_integration: true,
+            parallelism: 0,
+        }
+    }
+
+    /// Resolves [`parallelism`](Self::parallelism) to a concrete worker
+    /// count: `0` maps to the number of available cores, everything else
+    /// is literal.
+    pub fn effective_parallelism(&self) -> usize {
+        if self.parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.parallelism
         }
     }
 
@@ -192,6 +213,13 @@ impl Params {
         self.indexed_integration = on;
         self
     }
+
+    /// Builder-style override of the construction parallelism (`0` = all
+    /// cores, `1` = sequential escape hatch).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
 }
 
 impl Default for Params {
@@ -217,6 +245,9 @@ mod tests {
             p.indexed_integration,
             "indexed integration is on by default"
         );
+        assert_eq!(p.parallelism, 0, "parallelism defaults to all cores");
+        assert!(p.effective_parallelism() >= 1);
+        assert_eq!(p.with_parallelism(3).effective_parallelism(), 3);
         assert!(p.validate().is_ok());
     }
 

@@ -32,6 +32,11 @@ pub struct SpatioTemporalCube {
     /// (spatial level, temporal level) → cuboid. Entry (0, Hour) is the
     /// base.
     cuboids: FxHashMap<(usize, TemporalLevel), Cuboid>,
+    /// Worker threads for roll-up materialization: `0` = all cores,
+    /// `1` (the default) = the sequential path. Any setting produces an
+    /// identical cuboid — iteration order included — because chunks of
+    /// the base map are committed in base iteration order.
+    parallelism: usize,
 }
 
 impl SpatioTemporalCube {
@@ -43,7 +48,22 @@ impl SpatioTemporalCube {
             hierarchy,
             spec,
             cuboids,
+            parallelism: 1,
         }
+    }
+
+    /// Sets the roll-up materialization parallelism (`0` = all cores,
+    /// `1` = sequential). The measure is an integer sum and chunk results
+    /// commit in base-cuboid iteration order, so every setting yields the
+    /// same cuboid bytes.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads;
+    }
+
+    /// Builder-style [`set_parallelism`](Self::set_parallelism).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
     }
 
     /// Adds one measurement at (sensor, window).
@@ -101,21 +121,53 @@ impl SpatioTemporalCube {
             let base = &self.cuboids[&(0, TemporalLevel::Hour)];
             let fine = self.hierarchy.finest();
             let target = self.hierarchy.level(spatial_level);
-            let mut out = Cuboid::default();
-            for (key, measure) in base {
-                // Map the fine region to the coarser one through any member
-                // sensor (levels refine each other by construction).
-                let sensors = fine.sensors_in(key.region);
+            // Map the fine region to the coarser one through any member
+            // sensor (levels refine each other by construction).
+            let map_cell = |key: &CellKey| -> Option<CellKey> {
                 let region = if spatial_level == 0 {
                     key.region
-                } else if let Some(&s) = sensors.first() {
-                    target.region_of(s)
                 } else {
-                    continue;
+                    let sensors = fine.sensors_in(key.region);
+                    target.region_of(*sensors.first()?)
                 };
-                let bucket = temporal.bucket_of_hour(key.bucket);
-                let slot = out.entry(CellKey { region, bucket }).or_default();
-                *slot = slot.merge(*measure);
+                Some(CellKey {
+                    region,
+                    bucket: temporal.bucket_of_hour(key.bucket),
+                })
+            };
+            let threads = cps_par::resolve_threads(self.parallelism);
+            let mut out = Cuboid::default();
+            if threads <= 1 || base.len() <= 1 {
+                for (key, measure) in base {
+                    if let Some(cell) = map_cell(key) {
+                        let slot = out.entry(cell).or_default();
+                        *slot = slot.merge(*measure);
+                    }
+                }
+            } else {
+                // Chunk the base map in its iteration order; each chunk
+                // emits its mapped entries in order, and chunks commit in
+                // order — so `out` sees the exact insertion sequence of
+                // the sequential loop, which makes even its (hash-map)
+                // iteration order identical at every thread count.
+                let entries: Vec<(CellKey, CountAndTotal)> =
+                    base.iter().map(|(k, m)| (*k, *m)).collect();
+                let chunk_len = entries.len().div_ceil(threads);
+                let chunks: Vec<Vec<(CellKey, CountAndTotal)>> =
+                    entries.chunks(chunk_len).map(<[_]>::to_vec).collect();
+                let pool = cps_par::Pool::new(threads);
+                let mapped = pool.map(chunks, |_, chunk| {
+                    chunk
+                        .into_iter()
+                        .filter_map(|(key, m)| map_cell(&key).map(|cell| (cell, m)))
+                        .collect::<Vec<_>>()
+                });
+                for part in mapped {
+                    for (cell, measure) in part {
+                        let slot = out.entry(cell).or_default();
+                        *slot = slot.merge(measure);
+                    }
+                }
             }
             self.cuboids.insert((spatial_level, temporal), out);
         }
@@ -308,6 +360,45 @@ mod tests {
                     .fold(CountAndTotal::default(), |a, &m| a.merge(m));
                 assert_eq!(total, grand, "({s_level}, {t_level:?})");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_rollup_is_identical_including_iteration_order() {
+        let (net, _) = setup();
+        let spec = WindowSpec::PEMS;
+        let build = |threads: usize| {
+            let mut cube = SpatioTemporalCube::new(setup().1, spec).with_parallelism(threads);
+            for s in 0..net.num_sensors() as u32 {
+                for d in 0..10 {
+                    cube.add(
+                        SensorId::new(s),
+                        TimeWindow::new(d * 288 + (s * 37) % 288),
+                        Severity::from_secs(u64::from(s % 7 + 1) * 30),
+                    );
+                }
+            }
+            let mut dump: Vec<Vec<(CellKey, CountAndTotal)>> = Vec::new();
+            for s_level in 0..3 {
+                for t_level in [
+                    TemporalLevel::Hour,
+                    TemporalLevel::Day,
+                    TemporalLevel::Month,
+                ] {
+                    // Iteration order (no sort!) is part of the contract.
+                    dump.push(
+                        cube.cuboid(s_level, t_level)
+                            .iter()
+                            .map(|(k, m)| (*k, *m))
+                            .collect(),
+                    );
+                }
+            }
+            dump
+        };
+        let sequential = build(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(build(threads), sequential, "{threads} threads");
         }
     }
 

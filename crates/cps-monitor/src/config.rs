@@ -11,6 +11,8 @@
 //! delta_t_minutes = 15        # seal policy: gap after which events seal
 //! min_event_records = 2       # seal policy: trust filter
 //! indexed_integration = true  # inverted-index live integration (default)
+//! parallelism = 0             # forest-snapshot workers: 0 = all cores,
+//!                             # 1 = sequential; output identical either way
 //! red_cell_miles = 2.0
 //! snapshot_dir = "/var/lib/cps-monitor"
 //!
@@ -161,6 +163,7 @@ impl MonitorConfig {
                 "indexed_integration" => {
                     config.params.indexed_integration = value.as_bool(key)?;
                 }
+                "parallelism" => config.params.parallelism = value.as_usize(key)?,
                 "window_minutes" => {
                     config.spec = WindowSpec::new(value.as_usize(key)? as u32);
                 }
@@ -347,6 +350,7 @@ mod tests {
             delta_t_minutes = 20
             min_event_records = 3
             indexed_integration = false
+            parallelism = 2
             red_cell_miles = 1.5
             snapshot_dir = "/tmp/monitor # not a comment"
 
@@ -363,6 +367,7 @@ mod tests {
         assert_eq!(config.params.delta_t_minutes, 20);
         assert_eq!(config.params.min_event_records, 3);
         assert!(!config.params.indexed_integration);
+        assert_eq!(config.params.parallelism, 2);
         assert_eq!(config.red_cell_miles, 1.5);
         assert_eq!(
             config.snapshot_dir.as_deref(),

@@ -431,6 +431,28 @@ impl MonitorHandle {
         }
     }
 
+    /// Builds an offline atypical forest over days
+    /// `[first_day, first_day + n_days)` from the service's micro-clusters
+    /// (live memory plus the snapshot store) and materializes every week
+    /// and month level the range covers.
+    ///
+    /// Roll-ups fan out over the configured [`Params::parallelism`]
+    /// workers through the deterministic parallel engine, so the returned
+    /// forest is bit-identical at every setting — `parallelism = 1` in
+    /// the service config forces the sequential path.
+    pub fn forest_snapshot(
+        &self,
+        first_day: u32,
+        n_days: u32,
+    ) -> cps_core::Result<atypical::AtypicalForest> {
+        let mut forest = atypical::AtypicalForest::new(self.shared.spec, self.shared.params);
+        for day in first_day..first_day.saturating_add(n_days) {
+            forest.insert_day(day, self.micro_clusters_for_day(day)?);
+        }
+        forest.materialize_range(first_day, n_days);
+        Ok(forest)
+    }
+
     /// Red regions over a whole-day range, with their `F` values, from the
     /// incrementally maintained per-day severity vectors (equal to
     /// [`atypical::redzone::RedZones::compute`] on the same micro-clusters

@@ -1,0 +1,71 @@
+//! Compile-time thread-safety audit of everything that crosses the
+//! scheduler boundary.
+//!
+//! [`Pool::map`] requires `T: Send` (items move to workers), `U: Send`
+//! (results move back) and `F: Sync` (the closure is shared by
+//! reference), so the closure's captured environment must be `Sync`.
+//! This file pins the *concrete* item, result, and captured types of
+//! every production call site as trait bounds the compiler checks: if a
+//! refactor slips an `Rc`, a `Cell`, or a raw pointer into a cluster,
+//! a stats block, or a captured config, this test stops compiling —
+//! before any runtime test can race on it.
+//!
+//! Deliberately absent: `ClusterIdGen`. The id generator is the one
+//! piece of mutable integration state, and the engine's whole design
+//! (see `atypical::par`) is that it never crosses the boundary — workers
+//! mint scratch ids and the caller remaps them in canonical order. Keep
+//! it that way; do not add an assertion that would make sharing it look
+//! supported.
+
+use atypical::forest::MaterializedLevels;
+use atypical::integrate::{IntegrationStats, TimeAlignment};
+use atypical::pipeline::ConstructionStats;
+use atypical::AtypicalCluster;
+use cps_core::measure::CountAndTotal;
+use cps_core::{AtypicalRecord, Params, WindowSpec};
+use cps_cube::CellKey;
+use cps_geo::grid::RegionHierarchy;
+use cps_geo::RoadNetwork;
+use cps_par::{Pool, RunStats};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn scheduler_itself_is_shareable() {
+    assert_send_sync::<Pool>();
+    assert_send_sync::<RunStats>();
+}
+
+#[test]
+fn forest_leaf_payloads_are_thread_safe() {
+    // build_forest_from_records_parallel: per-day record batches in,
+    // per-day clusters + stats out, network/params/spec captured.
+    assert_send::<(u32, Vec<AtypicalRecord>)>();
+    assert_send::<(u32, Vec<AtypicalCluster>, ConstructionStats)>();
+    assert_sync::<RoadNetwork>();
+    assert_sync::<Params>();
+    assert_sync::<WindowSpec>();
+}
+
+#[test]
+fn rollup_payloads_are_thread_safe() {
+    // integrate_siblings: sibling nodes in, macros + stats + scratch-id
+    // count out, params/alignment captured.
+    assert_send::<Vec<AtypicalCluster>>();
+    assert_send::<(Vec<AtypicalCluster>, IntegrationStats, u64)>();
+    assert_sync::<TimeAlignment>();
+    assert_send_sync::<IntegrationStats>();
+    assert_send_sync::<MaterializedLevels>();
+}
+
+#[test]
+fn cube_payloads_are_thread_safe() {
+    // SpatioTemporalCube::cuboid: base-cell chunks in, mapped entries
+    // out, region hierarchy captured by the mapping closure.
+    assert_send::<Vec<(CellKey, CountAndTotal)>>();
+    assert_sync::<RegionHierarchy>();
+    assert_send_sync::<CellKey>();
+    assert_send_sync::<CountAndTotal>();
+}

@@ -1,0 +1,151 @@
+//! Cross-crate bit-identity matrix for the deterministic parallel
+//! engine: the cube and the monitor's forest snapshots must be
+//! indistinguishable at every `parallelism` setting.
+//!
+//! The in-crate differential suites (`atypical/tests/par_differential`,
+//! `cps-cube` unit tests) prove each parallel path against its own
+//! sequential oracle; this suite checks the *integration* surfaces a
+//! deployment actually touches — simulated record feeds, the sharded
+//! monitor, cuboid materialization — across thread counts {1, 2, 3, 8}.
+//! Seeded through `cps-testkit`; rerun failures with
+//! `CPS_FAULT_SEED=<seed>`.
+
+use atypical::AtypicalCluster;
+use cps_core::measure::CountAndTotal;
+use cps_core::Params;
+use cps_cube::{CellKey, SpatioTemporalCube, TemporalLevel};
+use cps_geo::grid::RegionHierarchy;
+use cps_monitor::{FaultConfig, MonitorConfig, MonitorService, OverflowPolicy};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use cps_testkit::run_seeded;
+
+/// Parallelism settings compared against the sequential baseline.
+/// `CPS_PAR_THREADS=n,n,...` pins the sweep (used by `scripts/ci.sh`).
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("CPS_PAR_THREADS") {
+        Ok(text) => text
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("CPS_PAR_THREADS is not a thread list: {text:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 3, 8],
+    }
+}
+
+#[test]
+fn cube_cuboids_identical_at_every_parallelism() {
+    run_seeded("cube_cuboids_identical_at_every_parallelism", |seed| {
+        let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, seed));
+        let hierarchy = RegionHierarchy::standard(sim.network(), 3.0, 3);
+        let spec = sim.config().spec;
+        let build = |threads: usize| {
+            let mut cube =
+                SpatioTemporalCube::new(hierarchy.clone(), spec).with_parallelism(threads);
+            for day in 0..3 {
+                for record in sim.atypical_day(day) {
+                    cube.add_atypical(&record);
+                }
+            }
+            // Dump every cuboid in raw iteration order — the parallel
+            // roll-up promises identical *insertion* order, so even the
+            // hash-map walk must not differ.
+            let mut dump: Vec<Vec<(CellKey, CountAndTotal)>> = Vec::new();
+            for s_level in 0..3 {
+                // The cube's base grain is the hour — Window would drill
+                // below storage.
+                for t_level in [
+                    TemporalLevel::Hour,
+                    TemporalLevel::Day,
+                    TemporalLevel::Week,
+                    TemporalLevel::Month,
+                ] {
+                    dump.push(
+                        cube.cuboid(s_level, t_level)
+                            .iter()
+                            .map(|(k, m)| (*k, *m))
+                            .collect(),
+                    );
+                }
+            }
+            dump
+        };
+        let sequential = build(1);
+        assert!(
+            sequential.iter().any(|c| !c.is_empty()),
+            "seed {seed}: fixture produced an empty cube"
+        );
+        for threads in thread_matrix() {
+            assert_eq!(build(threads), sequential, "seed {seed}, {threads} threads");
+        }
+    });
+}
+
+#[test]
+fn monitor_forest_snapshot_identical_at_every_parallelism() {
+    run_seeded(
+        "monitor_forest_snapshot_identical_at_every_parallelism",
+        |seed| {
+            let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, seed));
+            let network = std::sync::Arc::new(sim.network().clone());
+            let n_days = 8u32;
+            let mut records: Vec<_> = (0..n_days).flat_map(|d| sim.atypical_day(d)).collect();
+            records.sort_by_key(|r| (r.window, r.sensor));
+
+            // The snapshot materializes week roll-ups with the service's
+            // configured parallelism; everything observable — leaves,
+            // weeks, stats, the id-generator position — must match the
+            // sequential service bit-for-bit.
+            // One shard: multi-shard merge arrival order is OS-timing
+            // dependent, so shard outputs are only *canonically* equal
+            // run-to-run (see `monitor_faults`). Bit-identity across
+            // `parallelism` is a claim about the forest engine, which
+            // needs a bit-stable micro-cluster feed to be observable.
+            let snapshot = |threads: usize| {
+                let config = MonitorConfig {
+                    shards: 1,
+                    params: Params::paper_defaults().with_parallelism(threads),
+                    spec: sim.config().spec,
+                    overflow: OverflowPolicy::Block,
+                    faults: FaultConfig::default(),
+                    ..MonitorConfig::default()
+                };
+                let mut service =
+                    MonitorService::start(&config, network.clone()).expect("service starts");
+                let handle = service.handle();
+                for &record in &records {
+                    service.ingest(record).expect("ingest");
+                }
+                // Join the shard workers first: reading mid-flight would
+                // race the extractors, not test the parallel engine.
+                let metrics = service.finish();
+                assert!(metrics.micro_clusters > 0, "seed {seed}: empty feed");
+                let mut forest = handle
+                    .forest_snapshot(0, n_days)
+                    .expect("snapshot materializes");
+                let days: Vec<Vec<AtypicalCluster>> =
+                    (0..n_days).map(|d| forest.day(d).to_vec()).collect();
+                let weeks: Vec<Vec<AtypicalCluster>> =
+                    (0..n_days / 7).map(|w| forest.week(w).to_vec()).collect();
+                let stats = forest.integration_stats();
+                let peek = forest.id_gen().peek();
+                (days, weeks, stats, peek)
+            };
+
+            let sequential = snapshot(1);
+            assert!(
+                sequential.0.iter().any(|d| !d.is_empty()),
+                "seed {seed}: no day leaves in fixture"
+            );
+            for threads in thread_matrix() {
+                assert_eq!(
+                    snapshot(threads),
+                    sequential,
+                    "seed {seed}: snapshot diverged at parallelism {threads}"
+                );
+            }
+        },
+    );
+}

@@ -35,6 +35,17 @@ cargo test --workspace -q
 echo "==> CPS_FAULT_SEED=42 cargo test -p cps-testkit -q"
 CPS_FAULT_SEED=42 cargo test -p cps-testkit -q
 
+# Parallel-engine matrix: the bit-identity differential suites once more
+# with the thread sweep pinned to the sequential path and to a fixed
+# parallel width, so CI certifies both ends of the knob regardless of what
+# CPS_PAR_THREADS a developer machine defaults to.
+for width in 1 4; do
+  echo "==> CPS_PAR_THREADS=${width} par-matrix differential suites"
+  CPS_PAR_THREADS=${width} cargo test -q -p atypical \
+    --test par_differential --test property3_permutation
+  CPS_PAR_THREADS=${width} cargo test -q -p cps-testkit --test par_matrix
+done
+
 # Integration bench smoke: tiny sizes, one iteration. The command itself
 # asserts the naive and indexed strategies produce identical macro-cluster
 # sets, so this gates the indexed hot path end to end. Writes to results/
@@ -44,5 +55,14 @@ echo "==> repro integrate (smoke)"
 cargo run -q -p cps-bench --bin repro -- integrate \
   --sizes 150,400,800 --iters 1 --bench-out results/BENCH_integrate_smoke.json
 test -s results/BENCH_integrate_smoke.json
+
+# Forest bench smoke: a short thread sweep in debug. The run itself
+# asserts every thread count reproduces the sequential build bit-for-bit
+# (fingerprints include merge ids and stats), so this gates the whole
+# parallel construction engine end to end.
+echo "==> repro forest (smoke)"
+cargo run -q -p cps-bench --bin repro -- forest \
+  --days 8 --threads 1,4 --iters 1 --bench-out results/BENCH_forest_smoke.json
+test -s results/BENCH_forest_smoke.json
 
 echo "CI green."

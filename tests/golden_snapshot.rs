@@ -1,0 +1,141 @@
+//! Golden end-to-end snapshot: the serialized forest report for a fixed
+//! seed is pinned byte-for-byte in `tests/golden/quickstart_forest.json`.
+//!
+//! The document covers everything an analyst-facing run produces —
+//! leaf/roll-up shapes, merge ids, accumulated stats, and the rendered
+//! [`ClusterReport`]s for the integrated range — so any unintended
+//! behavior change anywhere in the pipeline (extraction, integration,
+//! id allocation, report derivation, serialization) shows up as a byte
+//! diff. The report is built at `parallelism` 1 **and** 8 and both must
+//! serialize to the same bytes: the golden file doubles as end-to-end
+//! evidence for the deterministic parallel engine.
+//!
+//! Regenerate after an *intended* change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p cps-bench --test golden_snapshot
+//! ```
+//!
+//! and review the diff like any other source change.
+
+use atypical::forest::AggregationPath;
+use atypical::pipeline::build_forest_from_records_parallel;
+use atypical::report::ClusterReport;
+use cps_core::Params;
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use serde::Serialize;
+use std::path::PathBuf;
+
+const SEED: u64 = 424_242;
+const DAYS: u32 = 31;
+
+/// The pinned document. Plain counters only — no wall-clock fields, no
+/// host properties, nothing that varies run-to-run.
+#[derive(Serialize)]
+struct GoldenDoc {
+    seed: u64,
+    days: u32,
+    weeks: Vec<u32>,
+    months: Vec<u32>,
+    n_records: usize,
+    n_micro_clusters: usize,
+    integration_comparisons: u64,
+    integration_merges: u64,
+    next_cluster_id: u64,
+    calendar_reports: Vec<ClusterReport>,
+    weekday_reports: Vec<ClusterReport>,
+    weekend_reports: Vec<ClusterReport>,
+}
+
+/// One full fixed-seed run at the given thread count, serialized.
+fn render(threads: usize) -> String {
+    let sim = TrafficSim::new(SimConfig::new(Scale::Tiny, SEED));
+    let spec = sim.config().spec;
+    let params = Params::paper_defaults().with_parallelism(threads);
+    let day_records: Vec<_> = (0..DAYS).map(|d| (d, sim.atypical_day(d))).collect();
+    let built =
+        build_forest_from_records_parallel(day_records, sim.network(), &params, spec, threads);
+    let mut forest = built.forest;
+    let levels = forest.materialize_range(0, DAYS);
+
+    let reports = |clusters: &[atypical::AtypicalCluster]| -> Vec<ClusterReport> {
+        clusters
+            .iter()
+            .map(|c| ClusterReport::of(c, spec, 3))
+            .collect()
+    };
+    let calendar = forest.integrate_days(0, DAYS);
+    let mut split = forest
+        .integrate_by_path(0, DAYS, AggregationPath::WeekdayWeekend)
+        .into_iter();
+    let weekday = split.next().expect("weekday tree").1;
+    let weekend = split.next().expect("weekend tree").1;
+
+    let doc = GoldenDoc {
+        seed: SEED,
+        days: DAYS,
+        weeks: levels.weeks,
+        months: levels.months,
+        n_records: built.stats.n_records,
+        n_micro_clusters: built.stats.n_micro_clusters,
+        integration_comparisons: forest.integration_stats().comparisons,
+        integration_merges: forest.integration_stats().merges,
+        next_cluster_id: forest.id_gen().peek(),
+        calendar_reports: reports(&calendar),
+        weekday_reports: reports(&weekday),
+        weekend_reports: reports(&weekend),
+    };
+    let mut text = serde_json::to_string_pretty(&doc).expect("report serializes");
+    text.push('\n');
+    text
+}
+
+fn golden_path() -> PathBuf {
+    // The test is wired through crates/cps-bench; the golden file lives
+    // next to the cross-crate tests at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/quickstart_forest.json")
+}
+
+#[test]
+fn forest_report_matches_golden_bytes() {
+    let sequential = render(1);
+    let parallel = render(8);
+    assert_eq!(
+        sequential, parallel,
+        "parallel report must serialize to the sequential bytes"
+    );
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &sequential).expect("write golden");
+        eprintln!("golden updated: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test -p cps-bench --test golden_snapshot",
+            path.display()
+        )
+    });
+    if sequential != golden {
+        // Show the first diverging line — a full dump of two ~large JSON
+        // documents drowns the signal.
+        for (i, (got, want)) in sequential.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "first golden divergence at line {} of {}",
+                i + 1,
+                path.display()
+            );
+        }
+        panic!(
+            "golden differs only in length: {} vs {} bytes ({})",
+            sequential.len(),
+            golden.len(),
+            path.display()
+        );
+    }
+}

@@ -1,8 +1,9 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! Implements the subset this workspace uses on top of `std`:
-//! [`queue::SegQueue`], [`thread::scope`], and MPMC [`channel`]s with
-//! optional capacity bounds (real blocking backpressure).
+//! [`queue::SegQueue`], [`thread::scope`], [`deque`] work-stealing
+//! deques, and MPMC [`channel`]s with optional capacity bounds (real
+//! blocking backpressure).
 
 pub mod queue {
     //! Concurrent queues.
@@ -43,6 +44,111 @@ pub mod queue {
         /// Whether the queue is empty.
         pub fn is_empty(&self) -> bool {
             self.len() == 0
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques mirroring `crossbeam-deque`'s FIFO flavor.
+    //!
+    //! Each worker owns a [`Worker`] it pushes and pops locally; other
+    //! workers hold [`Stealer`] handles and take tasks from the same end
+    //! when their own deque runs dry. Mutex-backed here (the upstream
+    //! crate is lock-free), but the API and the FIFO semantics match.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owner side of a FIFO work-stealing deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A thief-side handle; clone one per stealing worker.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO deque.
+        pub fn new_fifo() -> Self {
+            Self {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Creates a thief handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Dequeues the oldest task, if any (FIFO flavor: same end the
+        /// stealers take from).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// Whether the deque is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the oldest task. The mutex-backed stand-in
+        /// never loses a race, so [`Steal::Retry`] is never returned —
+        /// callers must still handle it for API parity.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
         }
     }
 }
@@ -406,6 +512,23 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deque_fifo_and_steal() {
+        let w = deque::Worker::new_fifo();
+        let s = w.stealer();
+        assert!(w.is_empty());
+        assert_eq!(s.steal(), deque::Steal::Empty);
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), deque::Steal::Success(2));
+        assert_eq!(s.steal().success(), Some(3));
+        assert!(s.is_empty());
+        assert_eq!(w.pop(), None);
     }
 
     #[test]
