@@ -279,6 +279,42 @@ impl<'a> OnlineExtractor<'a> {
         self.open.len()
     }
 
+    /// Serializes the open-event state for a checkpoint: each open
+    /// event's member records, in slab order (insertion order within each
+    /// event). Together with [`Self::current_window`] this is the whole
+    /// recoverable state — the frontier and sealing deadline are derived
+    /// from the records by [`Self::restore_open_events`].
+    pub fn export_open_events(&self) -> Vec<Vec<AtypicalRecord>> {
+        self.open.iter().map(|e| e.records.clone()).collect()
+    }
+
+    /// Restores state captured by [`Self::export_open_events`] into a
+    /// fresh extractor. Slab order is preserved, so a restored extractor's
+    /// subsequent merge/seal decisions are bit-identical to the original's
+    /// (merge order follows slab indices).
+    ///
+    /// # Panics
+    /// Panics if the extractor has already ingested records (restore is a
+    /// construction step, not a merge).
+    pub fn restore_open_events(&mut self, clock: TimeWindow, open: Vec<Vec<AtypicalRecord>>) {
+        assert!(
+            self.open.is_empty() && self.current_window == TimeWindow::new(0),
+            "restore_open_events on a non-fresh extractor"
+        );
+        for records in open {
+            let mut it = records.into_iter();
+            let first = it
+                .next()
+                .expect("checkpointed open event has at least one record");
+            let mut event = OpenEvent::new(first);
+            for r in it {
+                event.push(r);
+            }
+            self.open.push(event);
+        }
+        self.current_window = clock;
+    }
+
     /// Seals everything (end of stream) and returns all remaining
     /// micro-clusters.
     pub fn finish(mut self) -> Vec<AtypicalCluster> {

@@ -28,8 +28,10 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: [u8; 4] = *b"ACF1";
 
-/// Encodes one cluster into `buf`.
-fn encode_cluster(c: &AtypicalCluster, buf: &mut Vec<u8>) {
+/// Encodes one cluster into `buf`. Public so other durable formats (the
+/// monitor's checkpoint) reuse the exact `⟨ID, SF, TF⟩` byte layout —
+/// and so bit-identity tests can compare states via this serialization.
+pub fn encode_cluster(c: &AtypicalCluster, buf: &mut Vec<u8>) {
     buf.put_u64_le(c.id.raw());
     buf.put_u32_le(c.merged_count);
     buf.put_u32_le(c.sf.len() as u32);
@@ -44,8 +46,8 @@ fn encode_cluster(c: &AtypicalCluster, buf: &mut Vec<u8>) {
     }
 }
 
-/// Decodes one cluster, advancing `buf`.
-fn decode_cluster(buf: &mut &[u8]) -> Result<AtypicalCluster> {
+/// Decodes one cluster, advancing `buf`. Inverse of [`encode_cluster`].
+pub fn decode_cluster(buf: &mut &[u8]) -> Result<AtypicalCluster> {
     if buf.remaining() < 20 {
         return Err(CpsError::corrupt(
             "cluster file",

@@ -14,7 +14,8 @@
 //!   ablate           Red-zone and retrieval ablations
 //!   integrate        Naive vs indexed integration perf trajectory
 //!   forest           Parallel forest construction: thread sweep + bit-identity
-//!   all              Everything above (except `integrate` and `forest`)
+//!   monitor-recovery Durable monitor: WAL ingest tax + recovery vs suffix length
+//!   all              Everything above (except the three benches)
 //!
 //! Options:
 //!   --scale <tiny|small|medium|paper>   deployment scale (default tiny)
@@ -25,8 +26,10 @@
 //!   --sizes <n,n,...>                   `integrate` input sizes (default 1000,5000,20000)
 //!   --threads <n,n,...>                 `forest` thread sweep (default 1,2,4,8)
 //!   --iters <n>                         `integrate`/`forest` reps (default 3)
-//!   --bench-out <file>                  bench artifact (default BENCH_integrate.json
-//!                                       or BENCH_forest.json by command)
+//!   --max-records <n>                   `monitor-recovery` feed cap (default 0 = all)
+//!   --bench-out <file>                  bench artifact (default BENCH_integrate.json,
+//!                                       BENCH_forest.json, or BENCH_recovery.json
+//!                                       by command)
 //! ```
 
 use cps_bench::figs;
@@ -45,6 +48,7 @@ struct Args {
     sizes: Vec<usize>,
     threads: Vec<usize>,
     iters: u32,
+    max_records: usize,
     bench_out: Option<String>,
 }
 
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         sizes: vec![1_000, 5_000, 20_000],
         threads: vec![1, 2, 4, 8],
         iters: 3,
+        max_records: 0,
         bench_out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -104,6 +109,9 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--iters" => args.iters = grab("--iters")?.parse().map_err(|e| format!("{e}"))?,
+            "--max-records" => {
+                args.max_records = grab("--max-records")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--bench-out" => args.bench_out = Some(grab("--bench-out")?),
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
                 args.command = cmd.to_string();
@@ -135,7 +143,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] [--sizes N,N] [--threads N,N] [--iters N] [--bench-out FILE] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|integrate|forest|all>");
+            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] [--sizes N,N] [--threads N,N] [--iters N] [--max-records N] [--bench-out FILE] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|integrate|forest|monitor-recovery|all>");
             return ExitCode::FAILURE;
         }
     };
@@ -170,6 +178,29 @@ fn main() -> ExitCode {
         let out = args.bench_out.as_deref().unwrap_or("BENCH_forest.json");
         let path = std::path::Path::new(out);
         if let Err(e) = cps_bench::forest_bench::save_json(&results, &config, path) {
+            eprintln!("error saving {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    if args.command == "monitor-recovery" {
+        let config = cps_bench::recovery_bench::RecoveryBenchConfig {
+            scale: args.scale,
+            seed: args.seed,
+            // --days defaults to 30 for the dataset figures; a month of
+            // per-record WAL ingest is far past diminishing returns here,
+            // so the feed is capped at a week (bound it further with
+            // --max-records).
+            days: args.days.min(7),
+            iters: args.iters,
+            max_records: args.max_records,
+            ..cps_bench::recovery_bench::RecoveryBenchConfig::default()
+        };
+        let report = cps_bench::recovery_bench::run(&config);
+        let out = args.bench_out.as_deref().unwrap_or("BENCH_recovery.json");
+        let path = std::path::Path::new(out);
+        if let Err(e) = cps_bench::recovery_bench::save_json(&report, &config, path) {
             eprintln!("error saving {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

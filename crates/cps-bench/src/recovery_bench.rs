@@ -1,0 +1,441 @@
+//! Standing perf trajectory for the durable monitor: ingest throughput
+//! under each fsync policy, and recovery time as a function of the WAL
+//! suffix replayed past the last checkpoint.
+//!
+//! The `repro monitor-recovery` command feeds the same simulated
+//! atypical-record stream through the sharded [`MonitorService`] four
+//! ways — durability off, fsync-every-append, group commit — and then,
+//! with group commit on, plants checkpoints so that a controlled fraction
+//! of the feed remains in the WAL, kills the service without a clean
+//! shutdown, and times [`MonitorService::recover`]:
+//!
+//! ```text
+//! repro monitor-recovery                # seed-42 → BENCH_recovery.json
+//! repro monitor-recovery --days 1 --iters 1 --bench-out results/smoke.json
+//! ```
+//!
+//! The ingest rows quantify the WAL tax (records/s per policy); the
+//! recovery rows show replay cost growing with the un-checkpointed
+//! suffix, which is exactly what `checkpoint_interval_records` bounds.
+
+use cps_monitor::{
+    DurabilityConfig, FsyncPolicy, MonitorConfig, MonitorService, OverflowPolicy, RecoveryReport,
+};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of one `repro monitor-recovery` run.
+#[derive(Clone, Debug)]
+pub struct RecoveryBenchConfig {
+    /// Deployment scale of the simulated workload.
+    pub scale: Scale,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Days of atypical records in the feed.
+    pub days: u32,
+    /// Worker shards.
+    pub shards: usize,
+    /// Repetitions per measurement; the best time is kept.
+    pub iters: u32,
+    /// Cap on the feed length (0 = the whole generated stream); lets CI
+    /// smoke runs stay fast without changing the workload's shape.
+    pub max_records: usize,
+}
+
+impl Default for RecoveryBenchConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Tiny,
+            seed: 42,
+            days: 2,
+            shards: 4,
+            iters: 3,
+            max_records: 0,
+        }
+    }
+}
+
+/// Ingest throughput under one durability mode.
+#[derive(Clone, Debug)]
+pub struct IngestResult {
+    /// `"off"`, `"fsync-each"`, or `"group-commit"`.
+    pub mode: &'static str,
+    /// Records fed (all accepted; the feed runs under `Block`).
+    pub records: u64,
+    /// Best wall-clock feed-plus-drain time across iterations.
+    pub ingest_ms: f64,
+    /// `records / ingest_ms`, scaled to records per second.
+    pub records_per_sec: f64,
+}
+
+/// Recovery time for one planted WAL-suffix length.
+#[derive(Clone, Debug)]
+pub struct RecoveryResult {
+    /// Fraction of the feed left in the WAL past the last checkpoint
+    /// (1.0 = no checkpoint at all, the whole log replays).
+    pub suffix_fraction: f64,
+    /// The `checkpoint_interval_records` that planted it (0 = disabled).
+    pub checkpoint_interval: u64,
+    /// Whether recovery found a checkpoint document.
+    pub had_checkpoint: bool,
+    /// WAL entries replayed past the checkpoint (records + advances).
+    pub replayed_entries: usize,
+    /// Record entries among them.
+    pub replayed_records: u64,
+    /// Best wall-clock `MonitorService::recover` time across iterations.
+    pub recovery_ms: f64,
+}
+
+/// Both halves of the artifact.
+#[derive(Clone, Debug)]
+pub struct RecoveryBenchReport {
+    pub ingest: Vec<IngestResult>,
+    pub recovery: Vec<RecoveryResult>,
+    /// Feed length actually used (after `max_records`).
+    pub feed_records: u64,
+}
+
+/// A fresh directory under the system temp root, unique per call so
+/// repeated iterations never see each other's WAL state.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "cps-bench-recovery-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    dir
+}
+
+fn feed_records(config: &RecoveryBenchConfig, sim: &TrafficSim) -> Vec<cps_core::AtypicalRecord> {
+    let mut records: Vec<_> = (0..config.days).flat_map(|d| sim.atypical_day(d)).collect();
+    records.sort_unstable_by_key(|r| (r.window, r.sensor));
+    if config.max_records > 0 {
+        records.truncate(config.max_records);
+    }
+    assert!(!records.is_empty(), "simulated feed is empty");
+    records
+}
+
+fn monitor_config(
+    config: &RecoveryBenchConfig,
+    sim: &TrafficSim,
+    durability: DurabilityConfig,
+) -> MonitorConfig {
+    MonitorConfig {
+        shards: config.shards,
+        spec: sim.config().spec,
+        overflow: OverflowPolicy::Block,
+        durability,
+        ..MonitorConfig::default()
+    }
+}
+
+fn durability_for(mode: &str, wal_dir: Option<PathBuf>) -> DurabilityConfig {
+    let fsync = match mode {
+        "off" => FsyncPolicy::Never,
+        "fsync-each" => FsyncPolicy::Always,
+        "group-commit" => FsyncPolicy::Group,
+        other => unreachable!("unknown ingest mode {other}"),
+    };
+    DurabilityConfig {
+        wal_dir,
+        fsync,
+        ..DurabilityConfig::default()
+    }
+}
+
+/// One timed service lifetime: start, feed everything, drain with
+/// `finish`. Panics on any ingest error — the bench runs no faults, so an
+/// error is a bug, not a measurement.
+fn timed_ingest(
+    mc: &MonitorConfig,
+    network: &Arc<cps_geo::RoadNetwork>,
+    records: &[cps_core::AtypicalRecord],
+) -> f64 {
+    let start = Instant::now();
+    let mut service = MonitorService::start(mc, network.clone()).expect("service starts");
+    for &record in records {
+        assert!(
+            service.ingest(record).expect("healthy ingest"),
+            "Block policy must not drop"
+        );
+    }
+    service.finish();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Feeds the whole stream with group commit on and the checkpoint
+/// interval planted so roughly `suffix_fraction` of the feed stays in the
+/// WAL, then abandons the service *without* `finish` — the monitor-level
+/// equivalent of a process kill (the WAL is already durable; only the
+/// clean-shutdown path is skipped). Returns the recovery time and report.
+fn timed_recovery(
+    config: &RecoveryBenchConfig,
+    sim: &TrafficSim,
+    network: &Arc<cps_geo::RoadNetwork>,
+    records: &[cps_core::AtypicalRecord],
+    suffix_fraction: f64,
+) -> (u64, f64, RecoveryReport) {
+    let len = records.len() as u64;
+    // One checkpoint fires every `interval` records, so with
+    // `interval = len - suffix` and `suffix < len/2` exactly one fires and
+    // the last `suffix` records remain in the WAL. `interval = 0` disables
+    // checkpoints: the whole log replays.
+    let suffix = (len as f64 * suffix_fraction).round() as u64;
+    // A full-feed suffix saturates to interval 0 = checkpoints disabled.
+    let interval = len.saturating_sub(suffix);
+    assert!(
+        interval == 0 || suffix < len.div_ceil(2),
+        "suffix fractions in (0.5, 1.0) would fire a second checkpoint"
+    );
+
+    let wal_dir = fresh_dir("rec");
+    let durability = DurabilityConfig {
+        wal_dir: Some(wal_dir.clone()),
+        fsync: FsyncPolicy::Group,
+        checkpoint_interval_records: interval,
+        ..DurabilityConfig::default()
+    };
+    let mc = monitor_config(config, sim, durability);
+
+    let mut service = MonitorService::start(&mc, network.clone()).expect("service starts");
+    for &record in records {
+        assert!(
+            service.ingest(record).expect("healthy ingest"),
+            "Block policy must not drop"
+        );
+    }
+    drop(service); // abrupt: no finish, no final checkpoint
+
+    let start = Instant::now();
+    let (recovered, report) =
+        MonitorService::recover(&mc, network.clone()).expect("recovery succeeds");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    (interval, ms, report)
+}
+
+/// Runs both sweeps and prints one line per measurement.
+pub fn run(config: &RecoveryBenchConfig) -> RecoveryBenchReport {
+    let sim = TrafficSim::new(SimConfig::new(config.scale, config.seed));
+    let network = Arc::new(sim.network().clone());
+    let records = feed_records(config, &sim);
+    let len = records.len() as u64;
+    let iters = config.iters.max(1);
+
+    let ingest = ["off", "fsync-each", "group-commit"]
+        .iter()
+        .map(|&mode| {
+            let mut best_ms = f64::INFINITY;
+            for _ in 0..iters {
+                let wal_dir = (mode != "off").then(|| fresh_dir("ingest"));
+                let mc = monitor_config(config, &sim, durability_for(mode, wal_dir.clone()));
+                best_ms = best_ms.min(timed_ingest(&mc, &network, &records));
+                if let Some(dir) = wal_dir {
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+            }
+            let r = IngestResult {
+                mode,
+                records: len,
+                ingest_ms: best_ms,
+                records_per_sec: len as f64 / (best_ms / 1e3),
+            };
+            eprintln!(
+                "ingest {:>12}: {:>8.2} ms for {} records ({:>9.0} rec/s)",
+                r.mode, r.ingest_ms, r.records, r.records_per_sec
+            );
+            r
+        })
+        .collect();
+
+    let recovery = [1.0, 0.4, 0.2, 0.05]
+        .iter()
+        .map(|&fraction| {
+            let mut best_ms = f64::INFINITY;
+            let mut interval = 0;
+            let mut report = None;
+            for _ in 0..iters {
+                let (i, ms, rep) = timed_recovery(config, &sim, &network, &records, fraction);
+                if ms < best_ms {
+                    best_ms = ms;
+                    interval = i;
+                    report = Some(rep);
+                }
+            }
+            let report = report.expect("at least one iteration ran");
+            // Sanity-gate the measurement: a planted checkpoint must
+            // exist and strictly shrink the replayed suffix, and the
+            // no-checkpoint row must replay the whole feed.
+            if fraction >= 1.0 {
+                assert!(!report.had_checkpoint);
+                assert_eq!(report.replayed_records, len);
+            } else {
+                assert!(
+                    report.had_checkpoint,
+                    "interval {interval} planted no checkpoint"
+                );
+                assert!(report.replayed_records < len);
+            }
+            let r = RecoveryResult {
+                suffix_fraction: fraction,
+                checkpoint_interval: interval,
+                had_checkpoint: report.had_checkpoint,
+                replayed_entries: report.replayed_entries,
+                replayed_records: report.replayed_records,
+                recovery_ms: best_ms,
+            };
+            eprintln!(
+                "recover suffix {:>4.0}%: {:>8.2} ms ({} entries, {} records, checkpoint: {})",
+                r.suffix_fraction * 100.0,
+                r.recovery_ms,
+                r.replayed_entries,
+                r.replayed_records,
+                r.had_checkpoint
+            );
+            r
+        })
+        .collect();
+
+    RecoveryBenchReport {
+        ingest,
+        recovery,
+        feed_records: len,
+    }
+}
+
+/// Writes the artifact (`BENCH_recovery.json` at the repo root for the
+/// standing record; `results/BENCH_recovery_smoke.json` for CI).
+pub fn save_json(
+    report: &RecoveryBenchReport,
+    config: &RecoveryBenchConfig,
+    path: &Path,
+) -> std::io::Result<()> {
+    use serde::Value;
+    fn obj(entries: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+    let baseline = report
+        .ingest
+        .iter()
+        .find(|r| r.mode == "off")
+        .map_or(f64::INFINITY, |r| r.records_per_sec);
+    let ingest: Vec<Value> = report
+        .ingest
+        .iter()
+        .map(|r| {
+            let relative = if baseline > 0.0 {
+                r.records_per_sec / baseline
+            } else {
+                f64::INFINITY
+            };
+            obj(vec![
+                ("mode", Value::Str(r.mode.to_string())),
+                ("records", Value::U64(r.records)),
+                ("ingest_ms", Value::F64(r.ingest_ms)),
+                ("records_per_sec", Value::F64(r.records_per_sec)),
+                ("throughput_vs_off", Value::F64(relative)),
+            ])
+        })
+        .collect();
+    let recovery: Vec<Value> = report
+        .recovery
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("suffix_fraction", Value::F64(r.suffix_fraction)),
+                ("checkpoint_interval", Value::U64(r.checkpoint_interval)),
+                ("had_checkpoint", Value::Bool(r.had_checkpoint)),
+                ("replayed_entries", Value::U64(r.replayed_entries as u64)),
+                ("replayed_records", Value::U64(r.replayed_records)),
+                ("recovery_ms", Value::F64(r.recovery_ms)),
+            ])
+        })
+        .collect();
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let doc = obj(vec![
+        ("bench", Value::Str("monitor-recovery".to_string())),
+        (
+            "scale",
+            Value::Str(format!("{:?}", config.scale).to_lowercase()),
+        ),
+        ("seed", Value::U64(config.seed)),
+        ("days", Value::U64(u64::from(config.days))),
+        ("shards", Value::U64(config.shards as u64)),
+        ("iters", Value::U64(u64::from(config.iters))),
+        ("feed_records", Value::U64(report.feed_records)),
+        ("host_cpus", Value::U64(host_cpus as u64)),
+        ("ingest", Value::Array(ingest)),
+        ("recovery", Value::Array(recovery)),
+    ]);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let text = serde_json::to_string_pretty(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, format!("{text}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_measures_and_saves() {
+        let config = RecoveryBenchConfig {
+            days: 1,
+            iters: 1,
+            max_records: 160,
+            ..RecoveryBenchConfig::default()
+        };
+        let report = run(&config);
+        assert_eq!(report.feed_records, 160);
+        assert_eq!(report.ingest.len(), 3);
+        assert_eq!(report.recovery.len(), 4);
+        // The no-checkpoint row replays the whole accepted feed; planted
+        // checkpoints must strictly shrink the replayed suffix.
+        assert!(!report.recovery[0].had_checkpoint);
+        assert_eq!(report.recovery[0].replayed_records, report.feed_records);
+        for r in &report.recovery[1..] {
+            assert!(
+                r.had_checkpoint,
+                "interval {} planted no checkpoint",
+                r.checkpoint_interval
+            );
+            assert!(r.replayed_records < report.feed_records);
+        }
+
+        let path = fresh_dir("test").join("BENCH_recovery_test.json");
+        save_json(&report, &config, &path).expect("save json");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc: serde::Value = serde_json::from_str(&text).expect("valid json");
+        let entries = doc.as_object().expect("top-level object");
+        assert_eq!(
+            serde::get_field(entries, "ingest")
+                .as_array()
+                .expect("ingest array")
+                .len(),
+            3
+        );
+        assert_eq!(
+            serde::get_field(entries, "recovery")
+                .as_array()
+                .expect("recovery array")
+                .len(),
+            4
+        );
+    }
+}

@@ -20,6 +20,14 @@
 //! scale = "small"
 //! seed = 42
 //! days = 1
+//!
+//! [durability]
+//! wal_dir = "/var/lib/cps-monitor/wal"
+//! fsync = "group"             # "always" | "never" | "group"
+//! group_commit_records = 256  # fsync cadence under "group"
+//! checkpoint_interval_records = 50000   # 0 = never checkpoint
+//! respawn_budget = 3          # worker respawns per shard; 0 = off
+//! segment_bytes = 4194304     # WAL segment rotation size
 //! ```
 
 use cps_core::{Params, WindowSpec};
@@ -36,7 +44,10 @@ pub enum OverflowPolicy {
 }
 
 /// Kill one shard's worker thread after it has processed a fixed number
-/// of records (deterministic: the count is per-shard, not global).
+/// of records (deterministic: the count is per-shard, not global). The
+/// count is per worker incarnation: with supervision on, each respawned
+/// worker dies again after `after_records` more records, so a long
+/// enough feed deterministically exhausts any respawn budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkerKill {
     /// Shard whose worker dies.
@@ -70,6 +81,86 @@ pub struct FaultConfig {
     /// Seed for per-worker scheduling jitter (tiny random sleeps) so a
     /// seeded test can perturb worker/merger interleaving reproducibly.
     pub jitter_seed: Option<u64>,
+}
+
+/// When WAL appends reach durable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync every append — no accepted record is ever lost, slowest.
+    Always,
+    /// Never fsync — the OS decides; a power cut may lose the unsynced
+    /// tail (a process crash loses nothing).
+    Never,
+    /// Group commit: fsync every
+    /// [`DurabilityConfig::group_commit_records`] appends.
+    Group,
+}
+
+/// Durability knobs: the ingest WAL, periodic checkpoints, and shard
+/// worker supervision. All default off (`wal_dir = None`) — the monitor
+/// then behaves exactly as before this subsystem existed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurabilityConfig {
+    /// Root directory for per-shard WAL segments and the checkpoint
+    /// document; `None` disables the whole subsystem.
+    pub wal_dir: Option<PathBuf>,
+    /// When appends are fsynced.
+    pub fsync: FsyncPolicy,
+    /// Appends per fsync under [`FsyncPolicy::Group`].
+    pub group_commit_records: u64,
+    /// Ingested records between checkpoints; `0` = never checkpoint
+    /// (recovery then replays the whole WAL).
+    pub checkpoint_interval_records: u64,
+    /// How many times a dead shard worker is respawned from checkpoint +
+    /// WAL replay before the shard is declared permanently failed;
+    /// `0` disables supervision (a dead worker stays dead).
+    pub respawn_budget: u32,
+    /// WAL segment rotation size in bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            wal_dir: None,
+            fsync: FsyncPolicy::Group,
+            group_commit_records: 256,
+            checkpoint_interval_records: 0,
+            respawn_budget: 0,
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Whether the WAL subsystem is on.
+    pub fn enabled(&self) -> bool {
+        self.wal_dir.is_some()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.wal_dir.is_none() {
+            if self.checkpoint_interval_records > 0 {
+                return Err(
+                    "durability.checkpoint_interval_records requires durability.wal_dir"
+                        .to_string(),
+                );
+            }
+            if self.respawn_budget > 0 {
+                return Err("durability.respawn_budget requires durability.wal_dir".to_string());
+            }
+        }
+        if self.fsync == FsyncPolicy::Group && self.group_commit_records == 0 {
+            return Err(
+                "durability.group_commit_records must be positive under fsync = \"group\""
+                    .to_string(),
+            );
+        }
+        if self.segment_bytes < 1024 {
+            return Err("durability.segment_bytes must be at least 1024".to_string());
+        }
+        Ok(())
+    }
 }
 
 /// Replay source for the binary and benchmarks: a simulated deployment.
@@ -113,6 +204,8 @@ pub struct MonitorConfig {
     pub snapshot_dir: Option<PathBuf>,
     /// Replay source used by the `cps-monitor` binary.
     pub replay: ReplayConfig,
+    /// WAL, checkpoint, and supervision knobs (default: all off).
+    pub durability: DurabilityConfig,
     /// Deterministic fault hooks; always [`FaultConfig::default`] (no
     /// faults) outside the test harness.
     pub faults: FaultConfig,
@@ -129,6 +222,7 @@ impl Default for MonitorConfig {
             red_cell_miles: 2.0,
             snapshot_dir: None,
             replay: ReplayConfig::default(),
+            durability: DurabilityConfig::default(),
             faults: FaultConfig::default(),
         }
     }
@@ -174,6 +268,29 @@ impl MonitorConfig {
                 "replay.scale" => config.replay.scale = value.as_str(key)?.to_string(),
                 "replay.seed" => config.replay.seed = value.as_usize(key)? as u64,
                 "replay.days" => config.replay.days = value.as_usize(key)? as u32,
+                "durability.wal_dir" => {
+                    config.durability.wal_dir = Some(PathBuf::from(value.as_str(key)?));
+                }
+                "durability.fsync" => {
+                    config.durability.fsync = match value.as_str(key)? {
+                        "always" => FsyncPolicy::Always,
+                        "never" => FsyncPolicy::Never,
+                        "group" => FsyncPolicy::Group,
+                        other => return Err(format!("durability.fsync: unknown policy {other:?}")),
+                    }
+                }
+                "durability.group_commit_records" => {
+                    config.durability.group_commit_records = value.as_usize(key)? as u64;
+                }
+                "durability.checkpoint_interval_records" => {
+                    config.durability.checkpoint_interval_records = value.as_usize(key)? as u64;
+                }
+                "durability.respawn_budget" => {
+                    config.durability.respawn_budget = value.as_usize(key)? as u32;
+                }
+                "durability.segment_bytes" => {
+                    config.durability.segment_bytes = value.as_usize(key)? as u64;
+                }
                 other => return Err(format!("unknown configuration key {other:?}")),
             }
         }
@@ -185,6 +302,61 @@ impl MonitorConfig {
     pub fn load(path: &std::path::Path) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::from_toml_str(&text)
+    }
+
+    /// Renders the config in the accepted TOML subset, such that
+    /// `from_toml_str(c.to_toml())` reproduces `c` (modulo the fault
+    /// hooks, which have no TOML surface).
+    pub fn to_toml(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "shards = {}", self.shards);
+        let _ = writeln!(out, "channel_capacity = {}", self.channel_capacity);
+        let overflow = match self.overflow {
+            OverflowPolicy::Block => "block",
+            OverflowPolicy::Drop => "drop",
+        };
+        let _ = writeln!(out, "overflow = \"{overflow}\"");
+        let _ = writeln!(out, "delta_t_minutes = {}", self.params.delta_t_minutes);
+        let _ = writeln!(out, "min_event_records = {}", self.params.min_event_records);
+        let _ = writeln!(out, "delta_d_miles = {}", self.params.delta_d_miles);
+        let _ = writeln!(out, "delta_s = {}", self.params.delta_s);
+        let _ = writeln!(out, "delta_sim = {}", self.params.delta_sim);
+        let _ = writeln!(
+            out,
+            "indexed_integration = {}",
+            self.params.indexed_integration
+        );
+        let _ = writeln!(out, "parallelism = {}", self.params.parallelism);
+        let _ = writeln!(out, "window_minutes = {}", self.spec.window_minutes);
+        let _ = writeln!(out, "red_cell_miles = {}", self.red_cell_miles);
+        if let Some(dir) = &self.snapshot_dir {
+            let _ = writeln!(out, "snapshot_dir = \"{}\"", dir.display());
+        }
+        let _ = writeln!(out, "\n[replay]");
+        let _ = writeln!(out, "scale = \"{}\"", self.replay.scale);
+        let _ = writeln!(out, "seed = {}", self.replay.seed);
+        let _ = writeln!(out, "days = {}", self.replay.days);
+        let _ = writeln!(out, "\n[durability]");
+        let d = &self.durability;
+        if let Some(dir) = &d.wal_dir {
+            let _ = writeln!(out, "wal_dir = \"{}\"", dir.display());
+        }
+        let fsync = match d.fsync {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Never => "never",
+            FsyncPolicy::Group => "group",
+        };
+        let _ = writeln!(out, "fsync = \"{fsync}\"");
+        let _ = writeln!(out, "group_commit_records = {}", d.group_commit_records);
+        let _ = writeln!(
+            out,
+            "checkpoint_interval_records = {}",
+            d.checkpoint_interval_records
+        );
+        let _ = writeln!(out, "respawn_budget = {}", d.respawn_budget);
+        let _ = writeln!(out, "segment_bytes = {}", d.segment_bytes);
+        out
     }
 
     /// Checks cross-field invariants.
@@ -201,6 +373,7 @@ impl MonitorConfig {
         if self.red_cell_miles <= 0.0 || self.red_cell_miles.is_nan() {
             return Err("red_cell_miles must be positive".to_string());
         }
+        self.durability.validate()?;
         if let Some(kill) = self.faults.kill_worker {
             if kill.shard >= self.shards {
                 return Err(format!(
@@ -383,6 +556,85 @@ mod tests {
         let config = MonitorConfig::from_toml_str("").unwrap();
         assert_eq!(config.shards, MonitorConfig::default().shards);
         assert_eq!(config.overflow, OverflowPolicy::Block);
+    }
+
+    #[test]
+    fn durability_section_parses() {
+        let config = MonitorConfig::from_toml_str(
+            r#"
+            [durability]
+            wal_dir = "/tmp/monitor-wal"
+            fsync = "always"
+            group_commit_records = 64
+            checkpoint_interval_records = 1000
+            respawn_budget = 2
+            segment_bytes = 65536
+            "#,
+        )
+        .unwrap();
+        let d = &config.durability;
+        assert_eq!(
+            d.wal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/monitor-wal"))
+        );
+        assert_eq!(d.fsync, FsyncPolicy::Always);
+        assert_eq!(d.group_commit_records, 64);
+        assert_eq!(d.checkpoint_interval_records, 1000);
+        assert_eq!(d.respawn_budget, 2);
+        assert_eq!(d.segment_bytes, 65536);
+        assert!(d.enabled());
+        assert!(!MonitorConfig::default().durability.enabled());
+    }
+
+    #[test]
+    fn nonsensical_durability_combinations_are_rejected() {
+        // Checkpoints and supervision both need a WAL to replay from.
+        let err = MonitorConfig::from_toml_str("[durability]\ncheckpoint_interval_records = 100")
+            .unwrap_err();
+        assert!(err.contains("wal_dir"), "{err}");
+        let err = MonitorConfig::from_toml_str("[durability]\nrespawn_budget = 1").unwrap_err();
+        assert!(err.contains("wal_dir"), "{err}");
+        // Group commit with a zero cadence would never fsync.
+        let err = MonitorConfig::from_toml_str(
+            "[durability]\nwal_dir = \"/tmp/x\"\nfsync = \"group\"\ngroup_commit_records = 0",
+        )
+        .unwrap_err();
+        assert!(err.contains("group_commit_records"), "{err}");
+        // Degenerate segments would rotate on every append.
+        let err =
+            MonitorConfig::from_toml_str("[durability]\nwal_dir = \"/tmp/x\"\nsegment_bytes = 10")
+                .unwrap_err();
+        assert!(err.contains("segment_bytes"), "{err}");
+        // Unknown fsync policy.
+        assert!(MonitorConfig::from_toml_str(
+            "[durability]\nwal_dir = \"/tmp/x\"\nfsync = \"maybe\""
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn toml_roundtrip_preserves_config() {
+        let mut config = MonitorConfig {
+            shards: 3,
+            overflow: OverflowPolicy::Drop,
+            snapshot_dir: Some(PathBuf::from("/tmp/snap")),
+            ..MonitorConfig::default()
+        };
+        config.durability.wal_dir = Some(PathBuf::from("/tmp/wal"));
+        config.durability.fsync = FsyncPolicy::Never;
+        config.durability.checkpoint_interval_records = 500;
+        config.durability.respawn_budget = 4;
+        let reparsed = MonitorConfig::from_toml_str(&config.to_toml()).unwrap();
+        assert_eq!(reparsed.shards, config.shards);
+        assert_eq!(reparsed.overflow, config.overflow);
+        assert_eq!(reparsed.snapshot_dir, config.snapshot_dir);
+        assert_eq!(reparsed.durability, config.durability);
+        assert_eq!(reparsed.replay, config.replay);
+        assert_eq!(reparsed.spec, config.spec);
+        // Defaults round-trip too (durability disabled).
+        let default = MonitorConfig::default();
+        let reparsed = MonitorConfig::from_toml_str(&default.to_toml()).unwrap();
+        assert_eq!(reparsed.durability, default.durability);
     }
 
     #[test]

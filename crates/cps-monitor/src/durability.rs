@@ -1,0 +1,635 @@
+//! Durable formats of the crash-tolerant monitor: WAL entries and the
+//! checkpoint document.
+//!
+//! ## WAL entries
+//!
+//! Each shard has its own segment-rotated log (see [`cps_storage::wal`])
+//! under `wal_dir/shard-<s>/`. An entry is one frame payload:
+//!
+//! ```text
+//! entry := seq u64 | tag u8 | body
+//! body  := record (16 B, `cps_storage::format::encode_atypical`)   tag 0
+//!        | window u32                                              tag 1
+//! ```
+//!
+//! `seq` is a *global* append counter across every shard's log, so the
+//! union of all shard logs, sorted by `seq`, is exactly the sequence of
+//! messages the ingest thread successfully sent — recovery replays it
+//! single-threadedly and lands in the same state.
+//!
+//! ## The checkpoint document
+//!
+//! `wal_dir/checkpoint.ck` is written atomically (tmp + rename) at a
+//! quiescent cut: every worker has processed its whole queue and the
+//! merger has processed every message the workers produced. The document
+//! therefore captures an exact "state after ingest prefix P" — recovery
+//! loads it and replays only WAL entries with `seq >` [`CheckpointDoc::last_seq`].
+//! Cluster payloads reuse the forest store's `⟨ID, SF, TF⟩` encoding
+//! ([`atypical::store::encode_cluster`]).
+
+use atypical::store::{decode_cluster, encode_cluster};
+use atypical::AtypicalCluster;
+use bytes::{Buf, BufMut};
+use cps_core::{AtypicalRecord, CpsError, Result, Severity, TimeWindow};
+use cps_storage::crc::crc32;
+use cps_storage::format::{decode_atypical, encode_atypical, RECORD_SIZE};
+use cps_storage::Io;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Checkpoint file magic.
+pub const CKPT_MAGIC: [u8; 4] = *b"CPSC";
+/// Checkpoint format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// One logged ingest→worker message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// A record routed to the shard.
+    Record(AtypicalRecord),
+    /// A window-advance broadcast.
+    Advance(TimeWindow),
+}
+
+/// A decoded WAL entry: the global sequence number plus the message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalEntry {
+    /// Global (cross-shard) append sequence number.
+    pub seq: u64,
+    /// The logged message.
+    pub op: WalOp,
+}
+
+/// Encodes one entry into a fresh payload buffer.
+pub fn encode_entry(seq: u64, op: &WalOp) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(9 + RECORD_SIZE);
+    buf.put_u64_le(seq);
+    match op {
+        WalOp::Record(r) => {
+            buf.put_u8(0);
+            encode_atypical(r, &mut buf);
+        }
+        WalOp::Advance(w) => {
+            buf.put_u8(1);
+            buf.put_u32_le(w.raw());
+        }
+    }
+    buf
+}
+
+/// Decodes one entry payload.
+pub fn decode_entry(payload: &[u8]) -> Result<WalEntry> {
+    let mut buf = payload;
+    if buf.remaining() < 9 {
+        return Err(CpsError::corrupt(
+            "wal entry",
+            "payload shorter than header",
+        ));
+    }
+    let seq = buf.get_u64_le();
+    let tag = buf.get_u8();
+    let op = match tag {
+        0 => {
+            if buf.remaining() != RECORD_SIZE {
+                return Err(CpsError::corrupt("wal entry", "bad record body length"));
+            }
+            WalOp::Record(decode_atypical(buf))
+        }
+        1 => {
+            if buf.remaining() != 4 {
+                return Err(CpsError::corrupt("wal entry", "bad advance body length"));
+            }
+            WalOp::Advance(TimeWindow::new(buf.get_u32_le()))
+        }
+        other => {
+            return Err(CpsError::corrupt(
+                "wal entry",
+                format!("unknown tag {other}"),
+            ))
+        }
+    };
+    Ok(WalEntry { seq, op })
+}
+
+/// One shard's WAL directory under the monitor's `wal_dir`.
+pub fn shard_wal_dir(wal_dir: &Path, shard: usize) -> PathBuf {
+    wal_dir.join(format!("shard-{shard}"))
+}
+
+/// Path of the checkpoint document.
+pub fn checkpoint_path(wal_dir: &Path) -> PathBuf {
+    wal_dir.join("checkpoint.ck")
+}
+
+/// Per-shard state captured at the quiescent cut.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardCkpt {
+    /// The shard extractor's clock.
+    pub clock: TimeWindow,
+    /// Open events' member records, in slab order (see
+    /// [`atypical::online::OnlineExtractor::export_open_events`]).
+    pub open: Vec<Vec<AtypicalRecord>>,
+    /// Sealed events this shard had sent to the merger by the cut
+    /// (respawn replay suppresses regenerated duplicates up to here).
+    pub sealed_sent: u64,
+    /// First WAL segment holding post-checkpoint entries (older segments
+    /// are deleted once the checkpoint commits).
+    pub wal_floor: u64,
+}
+
+/// The whole monitor state at a quiescent cut.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckpointDoc {
+    /// Entries with `seq <= last_seq` are covered; replay starts after.
+    pub last_seq: u64,
+    /// The ingest clock (`None` before the first record).
+    pub current_window: Option<TimeWindow>,
+    /// Records seen by ingest (drives the deterministic fault hooks).
+    pub ingest_seq: u64,
+    /// Per-shard extractor state.
+    pub shards: Vec<ShardCkpt>,
+    /// Merger-private state (reconciliation pool + per-shard progress),
+    /// serialized by the merger itself.
+    pub merger: MergerCkpt,
+    /// Query-side live state.
+    pub live: LiveCkpt,
+}
+
+/// Per-shard merger progress: `(clock, open_floor, boundary_floor, done)`
+/// as last reported by the workers' `Clock`/`Done` messages.
+pub type ShardProgress = (
+    Option<TimeWindow>,
+    Option<TimeWindow>,
+    Option<TimeWindow>,
+    bool,
+);
+
+/// Merger-private checkpoint state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MergerCkpt {
+    /// Per-shard worker progress.
+    pub progress: Vec<ShardProgress>,
+    /// Pending reconciliation components, compacted: one record list per
+    /// union-find component, in slab order of each component's first slot.
+    pub components: Vec<Vec<AtypicalRecord>>,
+}
+
+/// Query-side live state (see `crate::live::LiveState`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LiveCkpt {
+    /// Next cluster id ([`cps_core::ids::ClusterIdGen::peek`]).
+    pub next_id: u64,
+    /// Live (unpersisted) micro-clusters per day.
+    pub micros_by_day: Vec<(u32, Vec<AtypicalCluster>)>,
+    /// Per-day region `F` vectors (seconds).
+    pub region_f_by_day: Vec<(u32, Vec<Severity>)>,
+    /// Macro-cluster fixpoint set, in result order.
+    pub macros: Vec<AtypicalCluster>,
+    /// Days already persisted to the snapshot store.
+    pub persisted_days: Vec<u32>,
+}
+
+fn put_opt_window(buf: &mut Vec<u8>, w: Option<TimeWindow>) {
+    match w {
+        Some(w) => {
+            buf.put_u8(1);
+            buf.put_u32_le(w.raw());
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_window(buf: &mut &[u8]) -> Result<Option<TimeWindow>> {
+    if buf.remaining() < 1 {
+        return Err(CpsError::corrupt("checkpoint", "truncated option flag"));
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(CpsError::corrupt("checkpoint", "truncated window"));
+            }
+            Ok(Some(TimeWindow::new(buf.get_u32_le())))
+        }
+        other => Err(CpsError::corrupt(
+            "checkpoint",
+            format!("bad option flag {other}"),
+        )),
+    }
+}
+
+fn put_records(buf: &mut Vec<u8>, records: &[AtypicalRecord]) {
+    buf.put_u32_le(records.len() as u32);
+    for r in records {
+        encode_atypical(r, buf);
+    }
+}
+
+fn get_records(buf: &mut &[u8]) -> Result<Vec<AtypicalRecord>> {
+    if buf.remaining() < 4 {
+        return Err(CpsError::corrupt("checkpoint", "truncated record list"));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * RECORD_SIZE {
+        return Err(CpsError::corrupt("checkpoint", "truncated record data"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_atypical(&buf[..RECORD_SIZE]));
+        buf.advance(RECORD_SIZE);
+    }
+    Ok(out)
+}
+
+fn put_clusters(buf: &mut Vec<u8>, clusters: &[AtypicalCluster]) {
+    buf.put_u32_le(clusters.len() as u32);
+    for c in clusters {
+        encode_cluster(c, buf);
+    }
+}
+
+fn get_clusters(buf: &mut &[u8]) -> Result<Vec<AtypicalCluster>> {
+    if buf.remaining() < 4 {
+        return Err(CpsError::corrupt("checkpoint", "truncated cluster list"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(decode_cluster(buf)?);
+    }
+    Ok(out)
+}
+
+impl MergerCkpt {
+    /// Serializes into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(self.progress.len() as u32);
+        for &(clock, open_floor, boundary_floor, done) in &self.progress {
+            put_opt_window(buf, clock);
+            put_opt_window(buf, open_floor);
+            put_opt_window(buf, boundary_floor);
+            buf.put_u8(u8::from(done));
+        }
+        buf.put_u32_le(self.components.len() as u32);
+        for component in &self.components {
+            put_records(buf, component);
+        }
+    }
+
+    /// Decodes from `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> Result<Self> {
+        if buf.remaining() < 4 {
+            return Err(CpsError::corrupt("checkpoint", "truncated merger state"));
+        }
+        let shards = buf.get_u32_le() as usize;
+        let mut progress = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let clock = get_opt_window(buf)?;
+            let open_floor = get_opt_window(buf)?;
+            let boundary_floor = get_opt_window(buf)?;
+            if buf.remaining() < 1 {
+                return Err(CpsError::corrupt("checkpoint", "truncated done flag"));
+            }
+            let done = buf.get_u8() != 0;
+            progress.push((clock, open_floor, boundary_floor, done));
+        }
+        if buf.remaining() < 4 {
+            return Err(CpsError::corrupt("checkpoint", "truncated component count"));
+        }
+        let n = buf.get_u32_le() as usize;
+        let mut components = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            components.push(get_records(buf)?);
+        }
+        Ok(Self {
+            progress,
+            components,
+        })
+    }
+}
+
+impl LiveCkpt {
+    /// Serializes into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(self.next_id);
+        buf.put_u32_le(self.micros_by_day.len() as u32);
+        for (day, micros) in &self.micros_by_day {
+            buf.put_u32_le(*day);
+            put_clusters(buf, micros);
+        }
+        buf.put_u32_le(self.region_f_by_day.len() as u32);
+        for (day, f) in &self.region_f_by_day {
+            buf.put_u32_le(*day);
+            buf.put_u32_le(f.len() as u32);
+            for sev in f {
+                buf.put_u64_le(sev.as_secs());
+            }
+        }
+        put_clusters(buf, &self.macros);
+        buf.put_u32_le(self.persisted_days.len() as u32);
+        for day in &self.persisted_days {
+            buf.put_u32_le(*day);
+        }
+    }
+
+    /// Decodes from `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> Result<Self> {
+        if buf.remaining() < 12 {
+            return Err(CpsError::corrupt("checkpoint", "truncated live state"));
+        }
+        let next_id = buf.get_u64_le();
+        let n_days = buf.get_u32_le() as usize;
+        let mut micros_by_day = Vec::with_capacity(n_days.min(1 << 16));
+        for _ in 0..n_days {
+            if buf.remaining() < 4 {
+                return Err(CpsError::corrupt("checkpoint", "truncated day bucket"));
+            }
+            let day = buf.get_u32_le();
+            micros_by_day.push((day, get_clusters(buf)?));
+        }
+        if buf.remaining() < 4 {
+            return Err(CpsError::corrupt("checkpoint", "truncated F-vector count"));
+        }
+        let n_f = buf.get_u32_le() as usize;
+        let mut region_f_by_day = Vec::with_capacity(n_f.min(1 << 16));
+        for _ in 0..n_f {
+            if buf.remaining() < 8 {
+                return Err(CpsError::corrupt("checkpoint", "truncated F vector"));
+            }
+            let day = buf.get_u32_le();
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len * 8 {
+                return Err(CpsError::corrupt("checkpoint", "truncated F values"));
+            }
+            let mut f = Vec::with_capacity(len);
+            for _ in 0..len {
+                f.push(Severity::from_secs(buf.get_u64_le()));
+            }
+            region_f_by_day.push((day, f));
+        }
+        let macros = get_clusters(buf)?;
+        if buf.remaining() < 4 {
+            return Err(CpsError::corrupt("checkpoint", "truncated persisted days"));
+        }
+        let n_p = buf.get_u32_le() as usize;
+        if buf.remaining() < n_p * 4 {
+            return Err(CpsError::corrupt("checkpoint", "truncated persisted days"));
+        }
+        let mut persisted_days = Vec::with_capacity(n_p);
+        for _ in 0..n_p {
+            persisted_days.push(buf.get_u32_le());
+        }
+        Ok(Self {
+            next_id,
+            micros_by_day,
+            region_f_by_day,
+            macros,
+            persisted_days,
+        })
+    }
+}
+
+impl CheckpointDoc {
+    /// Serializes the whole document (body only; framing is added by
+    /// [`write_checkpoint`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u64_le(self.last_seq);
+        put_opt_window(&mut buf, self.current_window);
+        buf.put_u64_le(self.ingest_seq);
+        buf.put_u32_le(self.shards.len() as u32);
+        for shard in &self.shards {
+            buf.put_u32_le(shard.clock.raw());
+            buf.put_u64_le(shard.sealed_sent);
+            buf.put_u64_le(shard.wal_floor);
+            buf.put_u32_le(shard.open.len() as u32);
+            for event in &shard.open {
+                put_records(&mut buf, event);
+            }
+        }
+        self.merger.encode(&mut buf);
+        self.live.encode(&mut buf);
+        buf
+    }
+
+    /// Decodes a document body.
+    pub fn decode(mut buf: &[u8]) -> Result<Self> {
+        let buf = &mut buf;
+        if buf.remaining() < 8 {
+            return Err(CpsError::corrupt("checkpoint", "truncated header"));
+        }
+        let last_seq = buf.get_u64_le();
+        let current_window = get_opt_window(buf)?;
+        if buf.remaining() < 12 {
+            return Err(CpsError::corrupt("checkpoint", "truncated ingest state"));
+        }
+        let ingest_seq = buf.get_u64_le();
+        let n_shards = buf.get_u32_le() as usize;
+        let mut shards = Vec::with_capacity(n_shards.min(1 << 16));
+        for _ in 0..n_shards {
+            if buf.remaining() < 24 {
+                return Err(CpsError::corrupt("checkpoint", "truncated shard state"));
+            }
+            let clock = TimeWindow::new(buf.get_u32_le());
+            let sealed_sent = buf.get_u64_le();
+            let wal_floor = buf.get_u64_le();
+            let n_open = buf.get_u32_le() as usize;
+            let mut open = Vec::with_capacity(n_open.min(1 << 20));
+            for _ in 0..n_open {
+                open.push(get_records(buf)?);
+            }
+            shards.push(ShardCkpt {
+                clock,
+                open,
+                sealed_sent,
+                wal_floor,
+            });
+        }
+        let merger = MergerCkpt::decode(buf)?;
+        let live = LiveCkpt::decode(buf)?;
+        if buf.has_remaining() {
+            return Err(CpsError::corrupt("checkpoint", "trailing bytes"));
+        }
+        Ok(Self {
+            last_seq,
+            current_window,
+            ingest_seq,
+            shards,
+            merger,
+            live,
+        })
+    }
+}
+
+/// Writes the checkpoint atomically: `magic | version | len | crc | body`
+/// to a temp file, synced, then renamed over [`checkpoint_path`]. A crash
+/// anywhere leaves either the previous checkpoint or the new one — never
+/// a torn mix.
+pub fn write_checkpoint(io: &Io, wal_dir: &Path, doc: &CheckpointDoc) -> Result<()> {
+    let body = doc.encode();
+    let mut framed = Vec::with_capacity(16 + body.len());
+    framed.put_slice(&CKPT_MAGIC);
+    framed.put_u32_le(CKPT_VERSION);
+    framed.put_u32_le(body.len() as u32);
+    framed.put_u32_le(crc32(&body));
+    framed.extend_from_slice(&body);
+    let path = checkpoint_path(wal_dir);
+    let tmp = path.with_extension("tmp");
+    let mut w = io.create(&tmp)?;
+    w.write_all(&framed)?;
+    w.sync()?;
+    drop(w);
+    io.rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Loads the checkpoint; `Ok(None)` when no checkpoint exists yet. A
+/// present-but-invalid file is a typed [`CpsError::Corrupt`] — the
+/// write protocol never leaves one, so damage is real.
+pub fn load_checkpoint(io: &Io, wal_dir: &Path) -> Result<Option<CheckpointDoc>> {
+    let path = checkpoint_path(wal_dir);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let raw = io.read_to_vec(&path)?;
+    if raw.len() < 16 {
+        return Err(CpsError::corrupt("checkpoint", "file shorter than header"));
+    }
+    let mut head = &raw[..16];
+    let mut magic = [0u8; 4];
+    head.copy_to_slice(&mut magic);
+    if magic != CKPT_MAGIC {
+        return Err(CpsError::corrupt("checkpoint", "bad magic"));
+    }
+    let version = head.get_u32_le();
+    if version != CKPT_VERSION {
+        return Err(CpsError::VersionMismatch {
+            found: version,
+            expected: CKPT_VERSION,
+        });
+    }
+    let len = head.get_u32_le() as usize;
+    let expected_crc = head.get_u32_le();
+    if raw.len() != 16 + len {
+        return Err(CpsError::corrupt("checkpoint", "body length mismatch"));
+    }
+    let body = &raw[16..];
+    if crc32(body) != expected_crc {
+        return Err(CpsError::corrupt("checkpoint", "body checksum mismatch"));
+    }
+    CheckpointDoc::decode(body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atypical::feature::{SpatialFeature, TemporalFeature};
+    use cps_core::{ClusterId, SensorId};
+
+    fn rec(s: u32, w: u32, secs: u64) -> AtypicalRecord {
+        AtypicalRecord::new(
+            SensorId::new(s),
+            TimeWindow::new(w),
+            Severity::from_secs(secs),
+        )
+    }
+
+    fn cluster(id: u64) -> AtypicalCluster {
+        let sf: SpatialFeature = [(SensorId::new(3), Severity::from_secs(90))]
+            .into_iter()
+            .collect();
+        let tf: TemporalFeature = [(TimeWindow::new(7), Severity::from_secs(90))]
+            .into_iter()
+            .collect();
+        AtypicalCluster::new(ClusterId::new(id), sf, tf)
+    }
+
+    #[test]
+    fn wal_entry_roundtrip() {
+        for (seq, op) in [
+            (1, WalOp::Record(rec(4, 100, 120))),
+            (2, WalOp::Advance(TimeWindow::new(101))),
+            (u64::MAX, WalOp::Record(rec(0, 0, 0))),
+        ] {
+            let buf = encode_entry(seq, &op);
+            assert_eq!(decode_entry(&buf).unwrap(), WalEntry { seq, op });
+        }
+    }
+
+    #[test]
+    fn wal_entry_rejects_damage() {
+        let buf = encode_entry(9, &WalOp::Advance(TimeWindow::new(5)));
+        assert!(decode_entry(&buf[..buf.len() - 1]).is_err());
+        let mut bad_tag = buf.clone();
+        bad_tag[8] = 9;
+        assert!(decode_entry(&bad_tag).is_err());
+        assert!(decode_entry(&[]).is_err());
+    }
+
+    fn sample_doc() -> CheckpointDoc {
+        CheckpointDoc {
+            last_seq: 42,
+            current_window: Some(TimeWindow::new(100)),
+            ingest_seq: 37,
+            shards: vec![
+                ShardCkpt {
+                    clock: TimeWindow::new(100),
+                    open: vec![vec![rec(1, 99, 60), rec(2, 100, 30)]],
+                    sealed_sent: 5,
+                    wal_floor: 3,
+                },
+                ShardCkpt::default(),
+            ],
+            merger: MergerCkpt {
+                progress: vec![
+                    (
+                        Some(TimeWindow::new(100)),
+                        Some(TimeWindow::new(99)),
+                        None,
+                        false,
+                    ),
+                    (None, None, None, true),
+                ],
+                components: vec![vec![rec(7, 95, 45)]],
+            },
+            live: LiveCkpt {
+                next_id: 11,
+                micros_by_day: vec![(0, vec![cluster(4)])],
+                region_f_by_day: vec![(0, vec![Severity::from_secs(90), Severity::ZERO])],
+                macros: vec![cluster(5)],
+                persisted_days: vec![0],
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_doc_roundtrip() {
+        let doc = sample_doc();
+        assert_eq!(CheckpointDoc::decode(&doc.encode()).unwrap(), doc);
+        let empty = CheckpointDoc::default();
+        assert_eq!(CheckpointDoc::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("cps-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let io = Io::real();
+        assert!(load_checkpoint(&io, &dir).unwrap().is_none());
+        let doc = sample_doc();
+        write_checkpoint(&io, &dir, &doc).unwrap();
+        assert_eq!(load_checkpoint(&io, &dir).unwrap(), Some(doc));
+        // Flip one body byte: typed corruption, not garbage state.
+        let path = checkpoint_path(&dir);
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x55;
+        std::fs::write(&path, raw).unwrap();
+        assert!(matches!(
+            load_checkpoint(&io, &dir),
+            Err(CpsError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

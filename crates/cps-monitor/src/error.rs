@@ -3,9 +3,10 @@
 use atypical::online::OutOfOrderRecord;
 use std::fmt;
 
-/// An ingest-path failure. Both variants are recoverable: the service
-/// keeps running and the caller decides whether to retry, skip, or stop.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// An ingest-path failure. Every variant leaves the service running:
+/// other shards keep ingesting and every handle stays valid. The caller
+/// decides whether to retry, skip, or stop.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MonitorError {
     /// The record's window regressed behind the ingest clock. Carries the
     /// shard the record would have been routed to plus the rejected record
@@ -16,12 +17,35 @@ pub enum MonitorError {
         /// The rejected record and the current ingest window.
         cause: OutOfOrderRecord,
     },
-    /// The destination shard's worker thread is no longer running. The
-    /// service degrades — other shards keep ingesting and every handle
-    /// stays valid — but records routed to this shard are lost.
+    /// The destination shard's worker thread is no longer running and
+    /// supervision is off (`durability.respawn_budget = 0` or no WAL).
+    /// Records routed to this shard are rejected until the monitor is
+    /// restarted; with a WAL they are *not* lost — `recover` replays the
+    /// shard's log. With supervision on, ingest never surfaces this
+    /// variant for a first death: the worker is respawned from
+    /// checkpoint plus WAL replay and the send is retried transparently (see
+    /// [`MonitorError::ShardFailed`] for budget exhaustion).
     WorkerDied {
         /// Shard whose worker terminated.
         shard: usize,
+    },
+    /// A shard worker died and its respawn budget is spent: the shard is
+    /// permanently failed for this process lifetime. Counted once in
+    /// `permanently_failed`; a full `recover` restart resets the budget.
+    ShardFailed {
+        /// The permanently failed shard.
+        shard: usize,
+        /// Respawns consumed before giving up.
+        respawns: u32,
+    },
+    /// A write-ahead-log or checkpoint I/O operation failed. The record
+    /// triggering it was not durably accepted and should be re-fed after
+    /// recovery.
+    Wal {
+        /// Shard whose log failed, when attributable.
+        shard: Option<usize>,
+        /// The underlying I/O error.
+        detail: String,
     },
 }
 
@@ -34,6 +58,16 @@ impl fmt::Display for MonitorError {
             MonitorError::WorkerDied { shard } => {
                 write!(f, "shard {shard}: worker thread terminated")
             }
+            MonitorError::ShardFailed { shard, respawns } => {
+                write!(
+                    f,
+                    "shard {shard}: permanently failed after {respawns} respawn(s)"
+                )
+            }
+            MonitorError::Wal { shard, detail } => match shard {
+                Some(s) => write!(f, "shard {s}: WAL failure: {detail}"),
+                None => write!(f, "WAL failure: {detail}"),
+            },
         }
     }
 }
@@ -60,5 +94,18 @@ mod tests {
         let text = MonitorError::WorkerDied { shard: 1 }.to_string();
         assert!(text.contains("shard 1"), "{text}");
         assert!(text.contains("terminated"), "{text}");
+        let text = MonitorError::ShardFailed {
+            shard: 2,
+            respawns: 3,
+        }
+        .to_string();
+        assert!(text.contains("shard 2"), "{text}");
+        assert!(text.contains("3 respawn"), "{text}");
+        let text = MonitorError::Wal {
+            shard: Some(0),
+            detail: "disk on fire".to_string(),
+        }
+        .to_string();
+        assert!(text.contains("disk on fire"), "{text}");
     }
 }

@@ -19,6 +19,7 @@
 //! and red-zone-guided window queries over the live + persisted levels.
 
 pub mod config;
+pub mod durability;
 pub mod error;
 mod live;
 mod merger;
@@ -26,8 +27,11 @@ pub mod metrics;
 pub mod service;
 pub mod shard;
 
-pub use config::{DropBurst, FaultConfig, MonitorConfig, OverflowPolicy, ReplayConfig, WorkerKill};
+pub use config::{
+    DropBurst, DurabilityConfig, FaultConfig, FsyncPolicy, MonitorConfig, OverflowPolicy,
+    ReplayConfig, WorkerKill,
+};
 pub use error::MonitorError;
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use service::{GuidedQuery, MonitorHandle, MonitorService};
+pub use service::{GuidedQuery, MonitorHandle, MonitorService, RecoveryReport};
 pub use shard::ShardMap;

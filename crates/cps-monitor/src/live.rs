@@ -126,6 +126,31 @@ impl LiveState {
         }
     }
 
+    /// Rebuilds the live state from a checkpoint. The macro fixpoint set
+    /// is restored by re-admitting each checkpointed cluster: the set is
+    /// pairwise non-similar, so no admission merges — no IDs are consumed
+    /// and both containers end holding exactly the checkpointed set (the
+    /// indexed integrator additionally rebuilds its inverted index).
+    pub(crate) fn restore(params: &Params, ckpt: &crate::durability::LiveCkpt) -> Self {
+        let mut ids = ClusterIdGen::new(ckpt.next_id);
+        let mut macros = LiveMacros::new(params);
+        for cluster in &ckpt.macros {
+            macros.integrate(cluster.clone(), params, &mut ids);
+        }
+        debug_assert_eq!(
+            ids.peek(),
+            ckpt.next_id,
+            "restoring a fixpoint set must not merge"
+        );
+        Self {
+            ids,
+            micros_by_day: ckpt.micros_by_day.iter().cloned().collect(),
+            region_f_by_day: ckpt.region_f_by_day.iter().cloned().collect(),
+            macros,
+            persisted_days: ckpt.persisted_days.iter().copied().collect(),
+        }
+    }
+
     /// Admits one finalized micro-cluster: files it under its day (day of
     /// its first window), folds its severity into the day's region `F`
     /// vector, and integrates it into the live macro-clusters.

@@ -4,12 +4,19 @@
 //! ```text
 //! cps-monitor [--config FILE] [--scale tiny|small|medium|paper]
 //!             [--seed N] [--days N] [--shards N] [--capacity N]
-//!             [--snapshot-dir DIR]
+//!             [--snapshot-dir DIR] [--wal-dir DIR] [--recover]
 //! ```
 //!
 //! Flags override the config file, which overrides built-in defaults.
+//!
+//! `--wal-dir` turns on the durable ingest WAL (checkpoints and respawn
+//! budgets come from the config file's `[durability]` section). After a
+//! kill, rerun the same command with `--recover` added: the service
+//! rebuilds from checkpoint + WAL replay and resumes the deterministic
+//! feed at the exact record the durable state contains
+//! ([`RecoveryReport::resume_from`]), so no record is lost or doubled.
 
-use cps_monitor::{MonitorConfig, MonitorService};
+use cps_monitor::{MonitorConfig, MonitorService, RecoveryReport};
 use cps_sim::{Scale, SimConfig, TrafficSim};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -21,8 +28,9 @@ fn main() {
     }
 }
 
-fn parse_args(args: &[String]) -> Result<MonitorConfig, String> {
+fn parse_args(args: &[String]) -> Result<(MonitorConfig, bool), String> {
     let mut config = MonitorConfig::default();
+    let mut recover = false;
     let mut it = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
         it.next()
@@ -58,23 +66,31 @@ fn parse_args(args: &[String]) -> Result<MonitorConfig, String> {
             "--snapshot-dir" => {
                 config.snapshot_dir = Some(PathBuf::from(value(arg, &mut it)?));
             }
+            "--wal-dir" => {
+                config.durability.wal_dir = Some(PathBuf::from(value(arg, &mut it)?));
+            }
+            "--recover" => recover = true,
             "--help" | "-h" => {
                 println!(
                     "usage: cps-monitor [--config FILE] [--scale SCALE] [--seed N] \
-                     [--days N] [--shards N] [--capacity N] [--snapshot-dir DIR]"
+                     [--days N] [--shards N] [--capacity N] [--snapshot-dir DIR] \
+                     [--wal-dir DIR] [--recover]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
+    if recover && config.durability.wal_dir.is_none() {
+        return Err("--recover needs a WAL (--wal-dir or the config's durability.wal_dir)".into());
+    }
     config.validate()?;
-    Ok(config)
+    Ok((config, recover))
 }
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut config = parse_args(&args)?;
+    let (mut config, recover) = parse_args(&args)?;
 
     let scale = Scale::parse(&config.replay.scale)
         .ok_or_else(|| format!("unknown scale {:?}", config.replay.scale))?;
@@ -91,7 +107,27 @@ fn run() -> Result<(), String> {
         config.shards,
     );
 
-    let mut service = MonitorService::start(&config, network)?;
+    let (mut service, report): (MonitorService, Option<RecoveryReport>) = if recover {
+        let (service, report) = MonitorService::recover(&config, network)?;
+        println!(
+            "recovered from {}: checkpoint seq {} ({}), {} WAL entries replayed \
+             ({} records, {} torn tails repaired); feed resumes at record {}",
+            config.durability.wal_dir.as_ref().unwrap().display(),
+            report.checkpoint_seq,
+            if report.had_checkpoint {
+                "present"
+            } else {
+                "absent"
+            },
+            report.replayed_entries,
+            report.replayed_records,
+            report.repaired_tails,
+            report.resume_from,
+        );
+        (service, Some(report))
+    } else {
+        (MonitorService::start(&config, network)?, None)
+    };
     println!(
         "shard layout: sizes {:?}, {} boundary sensors",
         service.shard_map().shard_sizes(),
@@ -99,14 +135,23 @@ fn run() -> Result<(), String> {
     );
     let handle = service.handle();
 
+    // The replay feed is deterministic, so the recovery resume point is a
+    // plain index into the concatenated day-by-day stream.
+    let mut skip = report.as_ref().map_or(0, |r| r.resume_from);
     for day in 0..config.replay.days {
         let mut records = sim.atypical_day(day);
         records.sort_by_key(|r| (r.window, r.sensor));
-        for record in records {
+        let day_len = records.len() as u64;
+        if skip >= day_len {
+            skip -= day_len;
+            continue;
+        }
+        for record in records.into_iter().skip(skip as usize) {
             service
                 .ingest(record)
                 .map_err(|e| format!("day {day}: {e}"))?;
         }
+        skip = 0;
     }
 
     let metrics = service.finish();

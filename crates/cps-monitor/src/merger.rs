@@ -34,6 +34,7 @@
 //! and no pending component has a record in day `d`. Its micro-clusters
 //! then move to the [`ForestStore`] day level and leave live memory.
 
+use crate::durability::MergerCkpt;
 use crate::metrics::Metrics;
 use crate::service::SharedState;
 use crate::shard::ShardMap;
@@ -41,7 +42,7 @@ use atypical::online::SealedRawEvent;
 use atypical::{AtypicalCluster, AtypicalEvent};
 use cps_core::fx::FxHashMap;
 use cps_core::{AtypicalRecord, SensorId, TimeWindow};
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, Sender};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -61,6 +62,10 @@ pub(crate) enum MergerMsg {
     },
     /// The shard's channel closed and its final events were flushed.
     Done { shard: usize },
+    /// Quiescent-checkpoint barrier: the ingest thread is blocked and
+    /// every worker has acked, so all prior messages are already applied.
+    /// The merger serializes its private state and replies.
+    Checkpoint { reply: Sender<Vec<u8>> },
 }
 
 /// One sealed boundary event waiting for reconciliation.
@@ -105,32 +110,142 @@ impl Merger {
         }
     }
 
-    pub(crate) fn run(mut self, rx: Receiver<MergerMsg>) {
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                MergerMsg::Sealed { events } => {
-                    for event in events {
-                        self.admit_sealed(event);
-                    }
-                }
-                MergerMsg::Clock {
-                    shard,
-                    window,
-                    open_floor,
-                    boundary_floor,
-                } => {
-                    self.clock[shard] = Some(window);
-                    self.open_floor[shard] = open_floor;
-                    self.boundary_floor[shard] = boundary_floor;
-                }
-                MergerMsg::Done { shard } => {
-                    self.done[shard] = true;
-                    self.open_floor[shard] = None;
-                    self.boundary_floor[shard] = None;
+    /// Restores a merger from its checkpoint part. Compaction note: the
+    /// checkpoint stores one record list per union-find component; a
+    /// single restored slot per component is behavior-equivalent to the
+    /// original slots because (a) finalize sorts records before building
+    /// the event, (b) the component's boundary-record set — what future
+    /// unions and `component_closed` consult — is preserved, and (c)
+    /// `boundary_last`/`min_window` are recomputed maxima/minima over the
+    /// same records.
+    pub(crate) fn restore(
+        shared: Arc<SharedState>,
+        map: Arc<ShardMap>,
+        max_gap: u32,
+        ckpt: &MergerCkpt,
+    ) -> Self {
+        let mut merger = Self::new(shared, map, max_gap);
+        for (shard, &(clock, open_floor, boundary_floor, done)) in ckpt.progress.iter().enumerate()
+        {
+            merger.clock[shard] = clock;
+            merger.open_floor[shard] = open_floor;
+            merger.boundary_floor[shard] = boundary_floor;
+            merger.done[shard] = done;
+        }
+        for records in &ckpt.components {
+            let slot = merger.pending.len();
+            let boundary: Vec<&AtypicalRecord> = records
+                .iter()
+                .filter(|r| merger.map.is_boundary(r.sensor))
+                .collect();
+            let boundary_last = boundary
+                .iter()
+                .map(|r| r.window)
+                .max()
+                .expect("pooled components contain boundary records");
+            let min_window = records
+                .iter()
+                .map(|r| r.window)
+                .min()
+                .expect("components are non-empty");
+            // Components were pairwise unrelated at the cut (related ones
+            // were already unioned), so no cross-slot unions re-form here.
+            for r in &boundary {
+                merger
+                    .by_sensor
+                    .entry(r.sensor)
+                    .or_default()
+                    .push((slot, r.window));
+            }
+            merger.pending.push(Some(PendingEvent {
+                records: records.clone(),
+                boundary_last,
+                min_window,
+            }));
+            merger.parent.push(slot);
+        }
+        merger
+    }
+
+    /// Serializes the merger-private state for a checkpoint: per-shard
+    /// progress plus the pending pool compacted to one record list per
+    /// union-find component (slab order of each component's first slot).
+    fn serialize_state(&mut self) -> Vec<u8> {
+        let mut roots: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut components: Vec<Vec<AtypicalRecord>> = Vec::new();
+        for slot in 0..self.pending.len() {
+            if self.pending[slot].is_none() {
+                continue;
+            }
+            let root = self.find(slot);
+            let idx = *roots.entry(root).or_insert_with(|| {
+                components.push(Vec::new());
+                components.len() - 1
+            });
+            components[idx].extend(
+                self.pending[slot]
+                    .as_ref()
+                    .expect("checked live")
+                    .records
+                    .iter()
+                    .copied(),
+            );
+        }
+        let ckpt = MergerCkpt {
+            progress: (0..self.map.num_shards())
+                .map(|s| {
+                    (
+                        self.clock[s],
+                        self.open_floor[s],
+                        self.boundary_floor[s],
+                        self.done[s],
+                    )
+                })
+                .collect(),
+            components,
+        };
+        let mut buf = Vec::new();
+        ckpt.encode(&mut buf);
+        buf
+    }
+
+    /// Applies one message and runs the finalize/persist passes — the
+    /// per-message body of [`run`](Self::run), shared with single-threaded
+    /// recovery replay.
+    pub(crate) fn apply(&mut self, msg: MergerMsg) {
+        match msg {
+            MergerMsg::Sealed { events } => {
+                for event in events {
+                    self.admit_sealed(event);
                 }
             }
-            self.finalize_ready();
-            self.persist_complete_days();
+            MergerMsg::Clock {
+                shard,
+                window,
+                open_floor,
+                boundary_floor,
+            } => {
+                self.clock[shard] = Some(window);
+                self.open_floor[shard] = open_floor;
+                self.boundary_floor[shard] = boundary_floor;
+            }
+            MergerMsg::Done { shard } => {
+                self.done[shard] = true;
+                self.open_floor[shard] = None;
+                self.boundary_floor[shard] = None;
+            }
+            MergerMsg::Checkpoint { reply } => {
+                let _ = reply.send(self.serialize_state());
+                return;
+            }
+        }
+        self.finalize_ready();
+        self.persist_complete_days();
+    }
+
+    pub(crate) fn run(mut self, rx: Receiver<MergerMsg>) {
+        while let Ok(msg) = rx.recv() {
+            self.apply(msg);
         }
         // All senders dropped: no more input exists (a shard that died
         // without reporting Done still closed its channel when its thread

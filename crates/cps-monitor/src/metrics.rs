@@ -41,8 +41,22 @@ pub struct Metrics {
     /// Bytes written to the snapshot store.
     pub snapshot_bytes: AtomicU64,
     /// Shard workers observed dead (send to their channel failed, or
-    /// their thread panicked). The service degrades but keeps running.
+    /// their thread panicked). Cumulative: a respawned worker's death
+    /// stays counted here — `dead_shards` reflects current liveness.
     pub workers_dead: AtomicU64,
+    /// Entries appended to the ingest write-ahead logs.
+    pub wal_appends: AtomicU64,
+    /// Framed bytes appended to the ingest write-ahead logs.
+    pub wal_bytes: AtomicU64,
+    /// Quiescent checkpoints committed.
+    pub checkpoints: AtomicU64,
+    /// Full restart recoveries performed (1 for a service built by
+    /// `recover`, 0 otherwise).
+    pub recoveries: AtomicU64,
+    /// Shard workers respawned from checkpoint + WAL replay.
+    pub respawns: AtomicU64,
+    /// Shards declared permanently failed (respawn budget spent).
+    pub permanently_failed: AtomicU64,
     queue_depths: Vec<AtomicUsize>,
     /// Per-shard dead flags; set-once through [`Metrics::mark_worker_dead`]
     /// so concurrent observers (ingest, merger, `finish`) count each death
@@ -67,6 +81,12 @@ impl Metrics {
             days_persisted: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
             workers_dead: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            permanently_failed: AtomicU64::new(0),
             queue_depths: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
             dead_flags: (0..num_shards).map(|_| AtomicBool::new(false)).collect(),
         }
@@ -82,6 +102,13 @@ impl Metrics {
             self.workers_dead.fetch_add(1, Ordering::Relaxed);
         }
         first
+    }
+
+    /// Clears one shard's dead flag after a successful respawn: the shard
+    /// is live again, so it leaves `dead_shards`, while the cumulative
+    /// `workers_dead` count keeps the death on record.
+    pub fn unmark_worker_dead(&self, shard: usize) {
+        self.dead_flags[shard].store(false, Ordering::Relaxed);
     }
 
     /// Whether `shard`'s worker has been marked dead.
@@ -127,6 +154,12 @@ impl Metrics {
             days_persisted: self.days_persisted.load(Ordering::Relaxed),
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
             workers_dead: self.workers_dead.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            permanently_failed: self.permanently_failed.load(Ordering::Relaxed),
             dead_shards: self.dead_shards(),
             queue_depths: self
                 .queue_depths
@@ -156,6 +189,12 @@ pub struct MetricsSnapshot {
     pub days_persisted: u64,
     pub snapshot_bytes: u64,
     pub workers_dead: u64,
+    pub wal_appends: u64,
+    pub wal_bytes: u64,
+    pub checkpoints: u64,
+    pub recoveries: u64,
+    pub respawns: u64,
+    pub permanently_failed: u64,
     pub dead_shards: Vec<usize>,
     pub queue_depths: Vec<usize>,
     pub elapsed: Duration,
@@ -188,6 +227,16 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "days persisted      {:>10}  ({} bytes)",
             self.days_persisted, self.snapshot_bytes
+        )?;
+        writeln!(
+            f,
+            "wal appends         {:>10}  ({} bytes, {} checkpoints)",
+            self.wal_appends, self.wal_bytes, self.checkpoints
+        )?;
+        writeln!(
+            f,
+            "recoveries          {:>10}  ({} respawns, {} permanently failed)",
+            self.recoveries, self.respawns, self.permanently_failed
         )?;
         writeln!(
             f,

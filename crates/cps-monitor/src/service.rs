@@ -12,15 +12,33 @@
 //! Channels are bounded: with [`OverflowPolicy::Block`] a full channel
 //! exerts backpressure on the producer, with [`OverflowPolicy::Drop`] the
 //! record is dropped and counted.
+//!
+//! ## Durability
+//!
+//! With `durability.wal_dir` set, every successfully sent ingest→worker
+//! message is appended to the destination shard's write-ahead log
+//! (send first, then log: the WAL is exactly the set of messages the
+//! workers received, so replay never double-applies a failed send).
+//! Periodic quiescent checkpoints capture the whole pipeline state —
+//! extractor clocks and open events, the merger's reconciliation pool,
+//! and the query-side live state — so [`MonitorService::recover`] replays
+//! only the WAL suffix past the checkpoint and truncates dead segments.
+//! With `durability.respawn_budget > 0`, a dead shard worker is rebuilt
+//! in place from checkpoint + WAL replay and the failed send retried;
+//! the budget spent, the shard is typed permanently failed.
 
-use crate::config::{FaultConfig, MonitorConfig, OverflowPolicy};
+use crate::config::{DurabilityConfig, FaultConfig, FsyncPolicy, MonitorConfig, OverflowPolicy};
+use crate::durability::{
+    checkpoint_path, decode_entry, encode_entry, load_checkpoint, shard_wal_dir, write_checkpoint,
+    CheckpointDoc, LiveCkpt, MergerCkpt, ShardCkpt, WalOp,
+};
 use crate::error::MonitorError;
 use crate::live::LiveState;
 use crate::merger::{Merger, MergerMsg};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::shard::ShardMap;
 use atypical::integrate::{integrate_aligned, TimeAlignment};
-use atypical::online::{OnlineExtractor, OutOfOrderRecord};
+use atypical::online::{OnlineExtractor, OutOfOrderRecord, SealedRawEvent};
 use atypical::significant::significance_threshold;
 use atypical::store::{ForestLevel, ForestStore};
 use atypical::AtypicalCluster;
@@ -28,11 +46,18 @@ use cps_core::{AtypicalRecord, Params, RegionId, Severity, TimeRange, TimeWindow
 use cps_geo::grid::{SensorPartition, UniformGrid};
 use cps_geo::RoadNetwork;
 use cps_index::st_index::max_gap_windows;
-use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
+use cps_storage::wal::{read_wal, repair_tail, truncate_segments_below, SyncPolicy, WalWriter};
+use cps_storage::Io;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a checkpoint waits on a worker or merger barrier reply before
+/// aborting the attempt (the service itself keeps running).
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// State shared between the ingest thread, workers, merger, and handles.
 pub(crate) struct SharedState {
@@ -44,13 +69,23 @@ pub(crate) struct SharedState {
     pub(crate) live: Mutex<LiveState>,
     pub(crate) store: Option<ForestStore>,
     pub(crate) started: Instant,
+    /// Per-shard count of sealed events actually handed to the merger.
+    /// Checkpoints record it so respawn replay can suppress regenerated
+    /// events the merger already holds.
+    pub(crate) sealed_sent: Vec<AtomicU64>,
 }
 
 /// Ingest → worker protocol.
-#[derive(Debug)]
 enum WorkerMsg {
     Record(AtypicalRecord),
     Advance(TimeWindow),
+    /// Quiescent-checkpoint barrier. The worker flushes its pending sealed
+    /// events to the merger, then replies with its clock and open-event
+    /// records; because the channel is FIFO, the reply proves every prior
+    /// message is applied.
+    Checkpoint {
+        reply: Sender<(TimeWindow, Vec<Vec<AtypicalRecord>>)>,
+    },
 }
 
 /// A running sharded monitoring service.
@@ -62,17 +97,56 @@ pub struct MonitorService {
     shared: Arc<SharedState>,
     map: Arc<ShardMap>,
     overflow: OverflowPolicy,
+    channel_capacity: usize,
     faults: FaultConfig,
+    durability: DurabilityConfig,
+    io: Io,
     senders: Vec<Sender<WorkerMsg>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<Option<JoinHandle<()>>>,
     merger: Option<JoinHandle<()>>,
+    /// Kept for checkpoint barriers and respawn replay; dropped in
+    /// [`finish`](Self::finish) so the merger's channel closes.
+    merger_tx: Option<Sender<MergerMsg>>,
+    /// One WAL writer per shard when durability is on.
+    writers: Vec<Option<WalWriter>>,
+    /// Last assigned global WAL sequence number (0 = nothing logged).
+    wal_seq: u64,
+    /// Records accepted since the last checkpoint.
+    records_since_ck: u64,
+    /// The committed checkpoint respawn replay restores from.
+    ckpt_base: Option<CheckpointDoc>,
+    respawns_used: Vec<u32>,
     current_window: Option<TimeWindow>,
     /// Shards whose worker was observed dead (a channel send failed or the
     /// thread panicked); marked once, counted once in the metrics.
     dead: Vec<bool>,
+    /// Shards declared permanently failed (respawn budget spent).
+    failed: Vec<bool>,
     /// Records seen by `ingest` so far, in feed order (drives the
-    /// deterministic drop-burst hook).
+    /// deterministic drop-burst hook and the recovery resume point).
     ingest_seq: u64,
+}
+
+/// What [`MonitorService::recover`] did to rebuild the service.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Whether a checkpoint document existed (otherwise the whole WAL was
+    /// replayed from an empty baseline).
+    pub had_checkpoint: bool,
+    /// The checkpoint's covered sequence number (0 without a checkpoint).
+    pub checkpoint_seq: u64,
+    /// WAL entries replayed (past the checkpoint).
+    pub replayed_entries: usize,
+    /// Record entries among them.
+    pub replayed_records: u64,
+    /// Shard logs whose torn final segment was repaired.
+    pub repaired_tails: usize,
+    /// Feed position to resume from: the number of records the recovered
+    /// state durably contains. Re-feeding the source stream from this
+    /// index applies every record exactly once — including the edge where
+    /// a crash hit the fsync *after* a record's WAL frame became durable,
+    /// so the ingest error and the log disagree about it.
+    pub resume_from: u64,
 }
 
 /// SplitMix64 step, used for the deterministic scheduling jitter.
@@ -84,21 +158,441 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+fn sync_policy(d: &DurabilityConfig) -> SyncPolicy {
+    match d.fsync {
+        FsyncPolicy::Always => SyncPolicy::Always,
+        FsyncPolicy::Never => SyncPolicy::Never,
+        FsyncPolicy::Group => SyncPolicy::EveryN(d.group_commit_records),
+    }
+}
+
+fn kill_after_for(faults: &FaultConfig, shard: usize) -> Option<u64> {
+    faults
+        .kill_worker
+        .filter(|k| k.shard == shard)
+        .map(|k| k.after_records)
+}
+
+fn jitter_for(faults: &FaultConfig, shard: usize) -> Option<u64> {
+    faults
+        .jitter_seed
+        .map(|seed| seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything one shard worker thread needs.
+struct WorkerSpawn {
+    shard: usize,
+    rx: Receiver<WorkerMsg>,
+    network: Arc<RoadNetwork>,
+    map: Arc<ShardMap>,
+    shared: Arc<SharedState>,
+    merger_tx: Sender<MergerMsg>,
+    kill_after: Option<u64>,
+    jitter: Option<u64>,
+    /// Checkpointed extractor state to restore before consuming messages
+    /// (clock + open-event records); `None` starts fresh.
+    restore: Option<(TimeWindow, Vec<Vec<AtypicalRecord>>)>,
+}
+
+fn spawn_worker(ctx: WorkerSpawn) -> Result<JoinHandle<()>, String> {
+    let WorkerSpawn {
+        shard,
+        rx,
+        network,
+        map,
+        shared,
+        merger_tx,
+        kill_after,
+        mut jitter,
+        restore,
+    } = ctx;
+    std::thread::Builder::new()
+        .name(format!("cps-monitor-shard-{shard}"))
+        .spawn(move || {
+            let (params, spec) = (shared.params, shared.spec);
+            let mut extractor = OnlineExtractor::new(&network, params, spec);
+            extractor.retain_raw_events(true);
+            if let Some((clock, open)) = restore {
+                extractor.restore_open_events(clock, open);
+            }
+            let send_sealed = |events: Vec<SealedRawEvent>| {
+                if !events.is_empty() {
+                    let n = events.len() as u64;
+                    let _ = merger_tx.send(MergerMsg::Sealed { events });
+                    shared.sealed_sent[shard].fetch_add(n, Ordering::Relaxed);
+                }
+            };
+            let mut records_processed = 0u64;
+            while let Ok(msg) = rx.recv() {
+                shared.metrics.set_queue_depth(shard, rx.len());
+                if let Some(state) = jitter.as_mut() {
+                    // Perturb worker/merger interleaving
+                    // reproducibly: occasional microsecond sleeps
+                    // driven by the per-shard seed.
+                    let x = splitmix64(state);
+                    if x.is_multiple_of(7) {
+                        std::thread::sleep(std::time::Duration::from_micros(x % 50));
+                    }
+                }
+                match msg {
+                    WorkerMsg::Record(record) => {
+                        if kill_after.is_some_and(|n| records_processed >= n) {
+                            // Fault hook: die abruptly — skip the
+                            // drain/Done epilogue exactly as a crashed
+                            // thread would. Per incarnation: a respawned
+                            // worker dies again after `after_records`
+                            // more records, so a long enough feed
+                            // deterministically exhausts any respawn
+                            // budget.
+                            shared.metrics.set_queue_depth(shard, 0);
+                            return;
+                        }
+                        records_processed += 1;
+                        // The service's ingest clock already
+                        // rejected regressing windows, so this
+                        // cannot fail; stay defensive anyway.
+                        if extractor.push(record).is_err() {
+                            debug_assert!(false, "service clock admitted a stale record");
+                        }
+                    }
+                    WorkerMsg::Advance(window) => {
+                        extractor.advance_to(window);
+                        send_sealed(extractor.drain_sealed_raw());
+                        let _ = merger_tx.send(MergerMsg::Clock {
+                            shard,
+                            window,
+                            open_floor: extractor.open_min_window_where(|_| true),
+                            boundary_floor: extractor.open_min_window_where(|s| map.is_boundary(s)),
+                        });
+                    }
+                    WorkerMsg::Checkpoint { reply } => {
+                        // Flush events sealed by record pushes since the
+                        // last advance: the merger barrier that follows
+                        // must cover them, and the open-event export
+                        // below does not.
+                        send_sealed(extractor.drain_sealed_raw());
+                        let _ = reply
+                            .send((extractor.current_window(), extractor.export_open_events()));
+                    }
+                }
+            }
+            shared.metrics.set_queue_depth(shard, 0);
+            send_sealed(extractor.finish_raw());
+            let _ = merger_tx.send(MergerMsg::Done { shard });
+        })
+        .map_err(|e| format!("spawning shard worker {shard}: {e}"))
+}
+
 impl MonitorService {
     /// Validates `config`, shards `network`, and spawns the worker and
     /// merger threads.
     pub fn start(config: &MonitorConfig, network: Arc<RoadNetwork>) -> Result<Self, String> {
+        Self::start_with(config, network, Io::real())
+    }
+
+    /// [`start`](Self::start) with every file operation (snapshot store,
+    /// WAL, checkpoints) routed through `io`.
+    pub fn start_with(
+        config: &MonitorConfig,
+        network: Arc<RoadNetwork>,
+        io: Io,
+    ) -> Result<Self, String> {
         config.validate()?;
+        if let Some(wal_dir) = &config.durability.wal_dir {
+            let has_state = checkpoint_path(wal_dir).exists()
+                || std::fs::read_dir(wal_dir).is_ok_and(|mut d| d.next().is_some());
+            if has_state {
+                return Err(format!(
+                    "wal_dir {} holds a previous run's state; recover it with \
+                     MonitorService::recover or point wal_dir elsewhere",
+                    wal_dir.display()
+                ));
+            }
+        }
+        let (shared, map, max_gap) = Self::scaffold(config, &network, &io, None)?;
+
+        // Merger input is unbounded: its producers are the bounded-channel
+        // workers, so it is already flow-controlled by the record channels.
+        let (merger_tx, merger_rx) = unbounded::<MergerMsg>();
+        let merger = Merger::new(shared.clone(), map.clone(), max_gap);
+        let merger = std::thread::Builder::new()
+            .name("cps-monitor-merger".to_string())
+            .spawn(move || merger.run(merger_rx))
+            .map_err(|e| format!("spawning merger: {e}"))?;
+
+        let writers = Self::open_writers(config, &io)?;
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded::<WorkerMsg>(config.channel_capacity);
+            senders.push(tx);
+            workers.push(Some(spawn_worker(WorkerSpawn {
+                shard,
+                rx,
+                network: network.clone(),
+                map: map.clone(),
+                shared: shared.clone(),
+                merger_tx: merger_tx.clone(),
+                kill_after: kill_after_for(&config.faults, shard),
+                jitter: jitter_for(&config.faults, shard),
+                restore: None,
+            })?));
+        }
+
+        Ok(Self {
+            shared,
+            map,
+            overflow: config.overflow,
+            channel_capacity: config.channel_capacity,
+            faults: config.faults,
+            durability: config.durability.clone(),
+            io,
+            senders,
+            workers,
+            merger: Some(merger),
+            merger_tx: Some(merger_tx),
+            writers,
+            wal_seq: 0,
+            records_since_ck: 0,
+            ckpt_base: None,
+            respawns_used: vec![0; config.shards],
+            current_window: None,
+            dead: vec![false; config.shards],
+            failed: vec![false; config.shards],
+            ingest_seq: 0,
+        })
+    }
+
+    /// Rebuilds a service from its durable state: the checkpoint (when
+    /// present) plus a single-threaded replay of the WAL suffix past it.
+    /// The recovered pipeline is equivalent to one that ingested the same
+    /// accepted records without interruption; resume the feed at
+    /// [`RecoveryReport::resume_from`].
+    pub fn recover(
+        config: &MonitorConfig,
+        network: Arc<RoadNetwork>,
+    ) -> Result<(Self, RecoveryReport), String> {
+        Self::recover_with(config, network, Io::real())
+    }
+
+    /// [`recover`](Self::recover) through an explicit [`Io`] backend.
+    pub fn recover_with(
+        config: &MonitorConfig,
+        network: Arc<RoadNetwork>,
+        io: Io,
+    ) -> Result<(Self, RecoveryReport), String> {
+        config.validate()?;
+        let Some(wal_dir) = config.durability.wal_dir.clone() else {
+            return Err("recover requires durability.wal_dir".to_string());
+        };
+        let base =
+            load_checkpoint(&io, &wal_dir).map_err(|e| format!("loading checkpoint: {e}"))?;
+        let had_checkpoint = base.is_some();
+        let base = base.unwrap_or_default();
+        if had_checkpoint && base.shards.len() != config.shards {
+            return Err(format!(
+                "checkpoint has {} shards but the config asks for {}",
+                base.shards.len(),
+                config.shards
+            ));
+        }
+
+        // Read every shard's log: repair a torn tail (only the last
+        // segment may legally hold one), decode, and keep the suffix past
+        // the checkpoint. The global sequence numbers interleave the
+        // per-shard logs back into the exact ingest send order.
+        let mut entries = Vec::new();
+        let mut repaired_tails = 0usize;
+        for shard in 0..config.shards {
+            let dir = shard_wal_dir(&wal_dir, shard);
+            let segments =
+                read_wal(&io, &dir).map_err(|e| format!("reading shard {shard} WAL: {e}"))?;
+            if segments.last().is_some_and(|s| s.torn) {
+                repaired_tails += 1;
+                repair_tail(&io, &dir).map_err(|e| format!("repairing shard {shard} WAL: {e}"))?;
+            }
+            for segment in segments {
+                for payload in segment.entries {
+                    let entry = decode_entry(&payload)
+                        .map_err(|e| format!("decoding shard {shard} WAL entry: {e}"))?;
+                    if entry.seq > base.last_seq {
+                        entries.push((shard, entry));
+                    }
+                }
+            }
+        }
+        entries.sort_by_key(|(_, e)| e.seq);
+        let max_seq = entries.last().map_or(base.last_seq, |(_, e)| e.seq);
+
+        let live = if had_checkpoint {
+            LiveState::restore(&config.params, &base.live)
+        } else {
+            LiveState::new(&config.params)
+        };
+        let (shared, map, max_gap) = Self::scaffold(config, &network, &io, Some(live))?;
+        let mut merger = Merger::restore(shared.clone(), map.clone(), max_gap, &base.merger);
+
+        // Single-threaded replay: one restored extractor per shard, the
+        // merger applied inline in send order. `push` advances the clock
+        // exactly like the worker's advance-then-push, so the replayed
+        // state is the state the workers would have reached.
+        let mut current_window = base.current_window;
+        let mut sealed_replayed = vec![0u64; config.shards];
+        let mut replayed_records = 0u64;
+        let restores: Vec<(TimeWindow, Vec<Vec<AtypicalRecord>>)> = {
+            let mut extractors: Vec<OnlineExtractor> = (0..config.shards)
+                .map(|shard| {
+                    let mut e = OnlineExtractor::new(&network, config.params, config.spec);
+                    e.retain_raw_events(true);
+                    if let Some(sc) = base.shards.get(shard) {
+                        e.restore_open_events(sc.clock, sc.open.clone());
+                    }
+                    e
+                })
+                .collect();
+            let apply_drained = |merger: &mut Merger,
+                                 extractor: &mut OnlineExtractor,
+                                 shard: usize,
+                                 window: TimeWindow,
+                                 sealed_replayed: &mut [u64]| {
+                let events = extractor.drain_sealed_raw();
+                if !events.is_empty() {
+                    sealed_replayed[shard] += events.len() as u64;
+                    merger.apply(MergerMsg::Sealed { events });
+                }
+                merger.apply(MergerMsg::Clock {
+                    shard,
+                    window,
+                    open_floor: extractor.open_min_window_where(|_| true),
+                    boundary_floor: extractor.open_min_window_where(|s| map.is_boundary(s)),
+                });
+            };
+            for &(shard, entry) in &entries {
+                match entry.op {
+                    WalOp::Record(record) => {
+                        replayed_records += 1;
+                        if current_window.is_none_or(|w| record.window > w) {
+                            current_window = Some(record.window);
+                        }
+                        let _ = extractors[shard].push(record);
+                    }
+                    WalOp::Advance(window) => {
+                        if current_window.is_none_or(|w| window > w) {
+                            current_window = Some(window);
+                        }
+                        extractors[shard].advance_to(window);
+                        apply_drained(
+                            &mut merger,
+                            &mut extractors[shard],
+                            shard,
+                            window,
+                            &mut sealed_replayed,
+                        );
+                    }
+                }
+            }
+            // Catch-up: a crash mid-broadcast leaves some shards without
+            // the final advance entry. Align every clock to the global
+            // window, exactly as the completed broadcast would have. Not
+            // logged — any later recovery re-derives it from the same
+            // entries.
+            if let Some(window) = current_window {
+                for (shard, extractor) in extractors.iter_mut().enumerate() {
+                    extractor.advance_to(window);
+                    apply_drained(&mut merger, extractor, shard, window, &mut sealed_replayed);
+                }
+            }
+            extractors
+                .iter()
+                .map(|e| (e.current_window(), e.export_open_events()))
+                .collect()
+        };
+        for (shard, &replayed) in sealed_replayed.iter().enumerate() {
+            let sent = base.shards.get(shard).map_or(0, |s| s.sealed_sent) + replayed;
+            shared.sealed_sent[shard].store(sent, Ordering::Relaxed);
+        }
+        shared.metrics.recoveries.store(1, Ordering::Relaxed);
+
+        let (merger_tx, merger_rx) = unbounded::<MergerMsg>();
+        let merger = std::thread::Builder::new()
+            .name("cps-monitor-merger".to_string())
+            .spawn(move || merger.run(merger_rx))
+            .map_err(|e| format!("spawning merger: {e}"))?;
+
+        // Writers open fresh segments past everything on disk; the old
+        // segments stay (until the next checkpoint truncates them) so a
+        // later recovery or respawn can still replay from the base.
+        let writers = Self::open_writers(config, &io)?;
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for (shard, restore) in restores.into_iter().enumerate() {
+            let (tx, rx) = bounded::<WorkerMsg>(config.channel_capacity);
+            senders.push(tx);
+            workers.push(Some(spawn_worker(WorkerSpawn {
+                shard,
+                rx,
+                network: network.clone(),
+                map: map.clone(),
+                shared: shared.clone(),
+                merger_tx: merger_tx.clone(),
+                kill_after: kill_after_for(&config.faults, shard),
+                jitter: jitter_for(&config.faults, shard),
+                restore: Some(restore),
+            })?));
+        }
+
+        let ingest_seq = base.ingest_seq + replayed_records;
+        let report = RecoveryReport {
+            had_checkpoint,
+            checkpoint_seq: base.last_seq,
+            replayed_entries: entries.len(),
+            replayed_records,
+            repaired_tails,
+            resume_from: ingest_seq,
+        };
+        let service = Self {
+            shared,
+            map,
+            overflow: config.overflow,
+            channel_capacity: config.channel_capacity,
+            faults: config.faults,
+            durability: config.durability.clone(),
+            io,
+            senders,
+            workers,
+            merger: Some(merger),
+            merger_tx: Some(merger_tx),
+            writers,
+            wal_seq: max_seq,
+            records_since_ck: 0,
+            ckpt_base: had_checkpoint.then_some(base),
+            respawns_used: vec![0; config.shards],
+            current_window,
+            dead: vec![false; config.shards],
+            failed: vec![false; config.shards],
+            ingest_seq,
+        };
+        Ok((service, report))
+    }
+
+    /// Builds the pieces `start_with` and `recover_with` share: shard
+    /// layout, red-zone partition, snapshot store, and the shared state.
+    fn scaffold(
+        config: &MonitorConfig,
+        network: &Arc<RoadNetwork>,
+        io: &Io,
+        live: Option<LiveState>,
+    ) -> Result<(Arc<SharedState>, Arc<ShardMap>, u32), String> {
         let params = config.params;
         let spec = config.spec;
         let map = Arc::new(ShardMap::build(
-            &network,
+            network,
             config.shards,
             params.delta_d_miles,
         ));
-        let partition = UniformGrid::over(&network, config.red_cell_miles).partition(&network);
+        let partition = UniformGrid::over(network, config.red_cell_miles).partition(network);
         let store = match &config.snapshot_dir {
-            Some(dir) => Some(ForestStore::open(dir).map_err(|e| e.to_string())?),
+            Some(dir) => Some(ForestStore::open_with(dir, io.clone()).map_err(|e| e.to_string())?),
             None => None,
         };
         let shared = Arc::new(SharedState {
@@ -107,117 +601,31 @@ impl MonitorService {
             params,
             spec,
             metrics: Metrics::new(config.shards),
-            live: Mutex::new(LiveState::new(&params)),
+            live: Mutex::new(live.unwrap_or_else(|| LiveState::new(&params))),
             store,
             started: Instant::now(),
+            sealed_sent: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
         });
-        let max_gap = max_gap_windows(&params, spec);
+        Ok((shared, map, max_gap_windows(&params, spec)))
+    }
 
-        // Merger input is unbounded: its producers are the bounded-channel
-        // workers, so it is already flow-controlled by the record channels.
-        let (merger_tx, merger_rx) = unbounded::<MergerMsg>();
-        let merger = {
-            let merger = Merger::new(shared.clone(), map.clone(), max_gap);
-            std::thread::Builder::new()
-                .name("cps-monitor-merger".to_string())
-                .spawn(move || merger.run(merger_rx))
-                .map_err(|e| format!("spawning merger: {e}"))?
+    fn open_writers(config: &MonitorConfig, io: &Io) -> Result<Vec<Option<WalWriter>>, String> {
+        let d = &config.durability;
+        let Some(wal_dir) = &d.wal_dir else {
+            return Ok((0..config.shards).map(|_| None).collect());
         };
-
-        let mut senders = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
+        let mut writers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
-            let (tx, rx) = bounded::<WorkerMsg>(config.channel_capacity);
-            senders.push(tx);
-            let (network, map, shared, merger_tx) = (
-                network.clone(),
-                map.clone(),
-                shared.clone(),
-                merger_tx.clone(),
-            );
-            let kill_after = config
-                .faults
-                .kill_worker
-                .filter(|k| k.shard == shard)
-                .map(|k| k.after_records);
-            let mut jitter = config
-                .faults
-                .jitter_seed
-                .map(|seed| seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let worker = std::thread::Builder::new()
-                .name(format!("cps-monitor-shard-{shard}"))
-                .spawn(move || {
-                    let mut extractor = OnlineExtractor::new(&network, params, spec);
-                    extractor.retain_raw_events(true);
-                    let mut records_processed = 0u64;
-                    while let Ok(msg) = rx.recv() {
-                        shared.metrics.set_queue_depth(shard, rx.len());
-                        if let Some(state) = jitter.as_mut() {
-                            // Perturb worker/merger interleaving
-                            // reproducibly: occasional microsecond sleeps
-                            // driven by the per-shard seed.
-                            let x = splitmix64(state);
-                            if x.is_multiple_of(7) {
-                                std::thread::sleep(std::time::Duration::from_micros(x % 50));
-                            }
-                        }
-                        match msg {
-                            WorkerMsg::Record(record) => {
-                                if kill_after.is_some_and(|n| records_processed >= n) {
-                                    // Fault hook: die abruptly — skip the
-                                    // drain/Done epilogue exactly as a
-                                    // crashed thread would.
-                                    shared.metrics.set_queue_depth(shard, 0);
-                                    return;
-                                }
-                                records_processed += 1;
-                                // The service's ingest clock already
-                                // rejected regressing windows, so this
-                                // cannot fail; stay defensive anyway.
-                                if extractor.push(record).is_err() {
-                                    debug_assert!(false, "service clock admitted a stale record");
-                                }
-                            }
-                            WorkerMsg::Advance(window) => {
-                                extractor.advance_to(window);
-                                let events = extractor.drain_sealed_raw();
-                                if !events.is_empty() {
-                                    let _ = merger_tx.send(MergerMsg::Sealed { events });
-                                }
-                                let _ = merger_tx.send(MergerMsg::Clock {
-                                    shard,
-                                    window,
-                                    open_floor: extractor.open_min_window_where(|_| true),
-                                    boundary_floor: extractor
-                                        .open_min_window_where(|s| map.is_boundary(s)),
-                                });
-                            }
-                        }
-                    }
-                    shared.metrics.set_queue_depth(shard, 0);
-                    let events = extractor.finish_raw();
-                    if !events.is_empty() {
-                        let _ = merger_tx.send(MergerMsg::Sealed { events });
-                    }
-                    let _ = merger_tx.send(MergerMsg::Done { shard });
-                })
-                .map_err(|e| format!("spawning shard worker {shard}: {e}"))?;
-            workers.push(worker);
+            let writer = WalWriter::open(
+                io.clone(),
+                &shard_wal_dir(wal_dir, shard),
+                sync_policy(d),
+                d.segment_bytes,
+            )
+            .map_err(|e| format!("opening shard {shard} WAL: {e}"))?;
+            writers.push(Some(writer));
         }
-        drop(merger_tx);
-
-        Ok(Self {
-            shared,
-            map,
-            overflow: config.overflow,
-            faults: config.faults,
-            dead: vec![false; config.shards],
-            ingest_seq: 0,
-            senders,
-            workers,
-            merger: Some(merger),
-            current_window: None,
-        })
+        Ok(writers)
     }
 
     /// The shard layout in use.
@@ -232,14 +640,13 @@ impl MonitorService {
         }
     }
 
-    /// Feeds one record. Returns `Ok(true)` if accepted, `Ok(false)` if
-    /// dropped by a full channel under [`OverflowPolicy::Drop`] (or the
-    /// drop-burst fault hook), and a typed [`MonitorError`] if
-    /// `record.window` regresses behind the ingest clock (the per-shard
-    /// extractors require a monotone window feed) or the destination
-    /// shard's worker has died. Both errors are recoverable: the service
-    /// keeps running and further in-order records to live shards are
-    /// accepted.
+    /// Feeds one record. Returns `Ok(true)` if accepted (and, with a WAL,
+    /// durably logged), `Ok(false)` if dropped by a full channel under
+    /// [`OverflowPolicy::Drop`] (or the drop-burst fault hook), and a
+    /// typed [`MonitorError`] otherwise. Every error is recoverable in the
+    /// sense that the service keeps running; a [`MonitorError::Wal`]
+    /// additionally means the record is *not* durable and should be
+    /// re-fed after [`recover`](Self::recover).
     pub fn ingest(&mut self, record: AtypicalRecord) -> Result<bool, MonitorError> {
         let shard = self.map.shard_of(record.sensor);
         match self.current_window {
@@ -252,8 +659,8 @@ impl MonitorService {
                     },
                 });
             }
-            Some(current) if record.window > current => self.broadcast_advance(record.window),
-            None => self.broadcast_advance(record.window),
+            Some(current) if record.window > current => self.broadcast_advance(record.window)?,
+            None => self.broadcast_advance(record.window)?,
             _ => {}
         }
         self.current_window = Some(record.window);
@@ -268,57 +675,77 @@ impl MonitorService {
                 self.shared
                     .metrics
                     .records_dropped
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed);
                 return Ok(false);
             }
         }
 
         if self.dead[shard] {
-            return Err(MonitorError::WorkerDied { shard });
+            return Err(self.dead_shard_error(shard));
         }
         match self.overflow {
             OverflowPolicy::Block => {
                 if self.senders[shard].send(WorkerMsg::Record(record)).is_err() {
-                    self.mark_dead(shard);
-                    return Err(MonitorError::WorkerDied { shard });
+                    self.respawn(shard)?;
+                    if self.senders[shard].send(WorkerMsg::Record(record)).is_err() {
+                        self.mark_dead(shard);
+                        return Err(MonitorError::WorkerDied { shard });
+                    }
                 }
             }
-            OverflowPolicy::Drop => match self.senders[shard].try_send(WorkerMsg::Record(record)) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    self.shared
-                        .metrics
-                        .records_dropped
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return Ok(false);
+            OverflowPolicy::Drop => {
+                let mut msg = WorkerMsg::Record(record);
+                loop {
+                    match self.senders[shard].try_send(msg) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(_)) => {
+                            self.shared
+                                .metrics
+                                .records_dropped
+                                .fetch_add(1, Ordering::Relaxed);
+                            return Ok(false);
+                        }
+                        Err(TrySendError::Disconnected(returned)) => {
+                            if self.dead[shard] {
+                                // The respawned worker died again before
+                                // accepting anything; give up on the send.
+                                self.mark_dead(shard);
+                                return Err(MonitorError::WorkerDied { shard });
+                            }
+                            self.respawn(shard)?;
+                            msg = returned;
+                        }
+                    }
                 }
-                Err(TrySendError::Disconnected(_)) => {
-                    self.mark_dead(shard);
-                    return Err(MonitorError::WorkerDied { shard });
-                }
-            },
+            }
         }
+        self.log_op(shard, WalOp::Record(record))?;
         self.shared
             .metrics
             .records_ingested
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed);
+        self.records_since_ck += 1;
+        self.maybe_checkpoint();
         Ok(true)
     }
 
     /// Advances every shard's clock without feeding a record — e.g. to
-    /// flush quiet periods at the end of a replay segment.
-    pub fn advance_to(&mut self, window: TimeWindow) {
+    /// flush quiet periods at the end of a replay segment. With a WAL the
+    /// advance is logged, so it survives recovery like any record.
+    pub fn advance_to(&mut self, window: TimeWindow) -> Result<(), MonitorError> {
         if self.current_window.is_none_or(|c| window > c) {
-            self.broadcast_advance(window);
+            self.broadcast_advance(window)?;
             self.current_window = Some(window);
         }
+        Ok(())
     }
 
     /// Window-advance broadcasts always block: dropping one would let a
     /// shard's clock fall behind and stall finalization. A dead shard is
     /// skipped — its clock stays frozen, which keeps its unfinished days
-    /// live (and queryable) instead of persisting them incomplete.
-    fn broadcast_advance(&mut self, window: TimeWindow) {
+    /// live (and queryable) instead of persisting them incomplete. With
+    /// supervision on, a send failure respawns the worker in place first.
+    fn broadcast_advance(&mut self, window: TimeWindow) -> Result<(), MonitorError> {
         for shard in 0..self.senders.len() {
             if self.dead[shard] {
                 continue;
@@ -327,9 +754,331 @@ impl MonitorService {
                 .send(WorkerMsg::Advance(window))
                 .is_err()
             {
-                self.mark_dead(shard);
+                match self.respawn(shard) {
+                    Ok(()) => {
+                        if self.senders[shard]
+                            .send(WorkerMsg::Advance(window))
+                            .is_err()
+                        {
+                            self.mark_dead(shard);
+                            continue;
+                        }
+                    }
+                    Err(MonitorError::WorkerDied { .. }) => continue,
+                    Err(other) => return Err(other),
+                }
+            }
+            self.log_op(shard, WalOp::Advance(window))?;
+        }
+        Ok(())
+    }
+
+    /// Appends one entry to a shard's WAL (no-op without durability).
+    fn log_op(&mut self, shard: usize, op: WalOp) -> Result<(), MonitorError> {
+        let Some(writer) = self.writers[shard].as_mut() else {
+            return Ok(());
+        };
+        self.wal_seq += 1;
+        let payload = encode_entry(self.wal_seq, &op);
+        match writer.append(&payload) {
+            Ok(framed) => {
+                self.shared
+                    .metrics
+                    .wal_appends
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .metrics
+                    .wal_bytes
+                    .fetch_add(framed, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => Err(MonitorError::Wal {
+                shard: Some(shard),
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    /// Rebuilds a dead shard worker in place: replay its log from the
+    /// checkpoint base on this thread, hand the merger the regenerated
+    /// events it has not seen, and spawn a fresh worker holding the
+    /// replayed extractor state. Typed errors when supervision is off
+    /// ([`MonitorError::WorkerDied`]) or the budget is spent
+    /// ([`MonitorError::ShardFailed`]).
+    fn respawn(&mut self, shard: usize) -> Result<(), MonitorError> {
+        self.mark_dead(shard);
+        let budget = self.durability.respawn_budget;
+        if !self.durability.enabled() || budget == 0 {
+            return Err(MonitorError::WorkerDied { shard });
+        }
+        if self.respawns_used[shard] >= budget {
+            self.failed[shard] = true;
+            self.shared
+                .metrics
+                .permanently_failed
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(MonitorError::ShardFailed {
+                shard,
+                respawns: self.respawns_used[shard],
+            });
+        }
+        self.respawns_used[shard] += 1;
+        if let Some(stale) = self.workers[shard].take() {
+            // The send failure means the receiver is gone, so the thread
+            // has exited (or panicked — already just counted dead).
+            let _ = stale.join();
+        }
+
+        let wal_dir = self
+            .durability
+            .wal_dir
+            .clone()
+            .expect("supervision requires a WAL");
+        let base_seq = self.ckpt_base.as_ref().map_or(0, |c| c.last_seq);
+        let base_shard = self
+            .ckpt_base
+            .as_ref()
+            .map(|c| c.shards[shard].clone())
+            .unwrap_or_default();
+        let dir = shard_wal_dir(&wal_dir, shard);
+        let wal_err = |detail: String| MonitorError::Wal {
+            shard: Some(shard),
+            detail,
+        };
+        let segments = read_wal(&self.io, &dir).map_err(|e| wal_err(e.to_string()))?;
+        let mut entries = Vec::new();
+        for segment in segments {
+            for payload in segment.entries {
+                let entry = decode_entry(&payload).map_err(|e| wal_err(e.to_string()))?;
+                if entry.seq > base_seq {
+                    entries.push(entry);
+                }
             }
         }
+        entries.sort_by_key(|e| e.seq);
+
+        // Replay on the ingest thread. The regenerated sealed events are a
+        // prefix-extension of what the dead worker sent: suppress the ones
+        // the merger already holds, forward the rest.
+        let merger_tx = self
+            .merger_tx
+            .clone()
+            .expect("merger_tx lives until finish");
+        let network = self.shared.network.clone();
+        let (params, spec) = (self.shared.params, self.shared.spec);
+        let already_sent =
+            self.shared.sealed_sent[shard].load(Ordering::Relaxed) - base_shard.sealed_sent;
+        let restore = {
+            let mut extractor = OnlineExtractor::new(&network, params, spec);
+            extractor.retain_raw_events(true);
+            extractor.restore_open_events(base_shard.clock, base_shard.open.clone());
+            let mut regenerated: Vec<SealedRawEvent> = Vec::new();
+            for entry in &entries {
+                match entry.op {
+                    WalOp::Record(record) => {
+                        let _ = extractor.push(record);
+                    }
+                    WalOp::Advance(window) => {
+                        extractor.advance_to(window);
+                        regenerated.append(&mut extractor.drain_sealed_raw());
+                    }
+                }
+            }
+            regenerated.append(&mut extractor.drain_sealed_raw());
+            let total = regenerated.len() as u64;
+            debug_assert!(
+                total >= already_sent,
+                "replay regenerated fewer events than the merger received"
+            );
+            let fresh: Vec<SealedRawEvent> = regenerated
+                .into_iter()
+                .skip(already_sent.min(total) as usize)
+                .collect();
+            if !fresh.is_empty() {
+                let _ = merger_tx.send(MergerMsg::Sealed { events: fresh });
+            }
+            self.shared.sealed_sent[shard].store(base_shard.sealed_sent + total, Ordering::Relaxed);
+            let _ = merger_tx.send(MergerMsg::Clock {
+                shard,
+                window: extractor.current_window(),
+                open_floor: extractor.open_min_window_where(|_| true),
+                boundary_floor: extractor.open_min_window_where(|s| self.map.is_boundary(s)),
+            });
+            (extractor.current_window(), extractor.export_open_events())
+        };
+
+        let (tx, rx) = bounded::<WorkerMsg>(self.channel_capacity);
+        let worker = spawn_worker(WorkerSpawn {
+            shard,
+            rx,
+            network,
+            map: self.map.clone(),
+            shared: self.shared.clone(),
+            merger_tx,
+            kill_after: kill_after_for(&self.faults, shard),
+            jitter: jitter_for(&self.faults, shard),
+            restore: Some(restore),
+        });
+        match worker {
+            Ok(handle) => {
+                self.senders[shard] = tx;
+                self.workers[shard] = Some(handle);
+                self.dead[shard] = false;
+                self.shared.metrics.unmark_worker_dead(shard);
+                self.shared.metrics.respawns.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => Err(MonitorError::WorkerDied { shard }),
+        }
+    }
+
+    /// The error a permanently failed or plainly dead shard reports.
+    fn dead_shard_error(&self, shard: usize) -> MonitorError {
+        if self.failed[shard] {
+            MonitorError::ShardFailed {
+                shard,
+                respawns: self.respawns_used[shard],
+            }
+        } else {
+            MonitorError::WorkerDied { shard }
+        }
+    }
+
+    /// Runs a checkpoint when the interval says so. A failed attempt is
+    /// not data loss — the WAL suffix still covers everything — so errors
+    /// only postpone truncation to the next interval.
+    fn maybe_checkpoint(&mut self) {
+        let interval = self.durability.checkpoint_interval_records;
+        if interval == 0 || self.records_since_ck < interval {
+            return;
+        }
+        self.records_since_ck = 0;
+        if self.dead.iter().any(|&d| d) {
+            // A frozen shard cannot reach the quiescent cut.
+            return;
+        }
+        let _ = self.checkpoint_now();
+    }
+
+    /// The quiescent checkpoint protocol. All file operations happen on
+    /// this (the ingest) thread, so crash sweeps see one deterministic
+    /// operation order:
+    ///
+    /// 1. rotate every shard's WAL — post-cut entries land in segments
+    ///    `>= wal_floor`;
+    /// 2. barrier every worker (reply = clock + open events, after
+    ///    flushing pending sealed events to the merger);
+    /// 3. read the per-shard sealed counters — final, since every worker
+    ///    has acked;
+    /// 4. barrier the merger (channel FIFO ⇒ it has applied every
+    ///    pre-barrier message) for its serialized pool;
+    /// 5. snapshot the live state under its lock;
+    /// 6. write the checkpoint atomically, then delete segments below
+    ///    every floor.
+    fn checkpoint_now(&mut self) -> Result<(), MonitorError> {
+        let wal_dir = self
+            .durability
+            .wal_dir
+            .clone()
+            .expect("checkpointing requires a WAL");
+        let shards = self.senders.len();
+        let wal_err = |shard: Option<usize>, detail: String| MonitorError::Wal { shard, detail };
+
+        let mut floors = vec![0u64; shards];
+        for (shard, writer) in self.writers.iter_mut().enumerate() {
+            let writer = writer.as_mut().expect("durability is on");
+            floors[shard] = writer
+                .rotate()
+                .map_err(|e| wal_err(Some(shard), e.to_string()))?;
+        }
+
+        let mut shard_states = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (reply_tx, reply_rx) = bounded(1);
+            if self.senders[shard]
+                .send(WorkerMsg::Checkpoint { reply: reply_tx })
+                .is_err()
+            {
+                // The worker died; the next record send will notice and
+                // respawn it. Abort without marking anything.
+                return Err(MonitorError::WorkerDied { shard });
+            }
+            match reply_rx.recv_timeout(BARRIER_TIMEOUT) {
+                Ok(state) => shard_states.push(state),
+                Err(_) => {
+                    return Err(wal_err(
+                        Some(shard),
+                        "checkpoint barrier timed out".to_string(),
+                    ))
+                }
+            }
+        }
+        let sealed: Vec<u64> = (0..shards)
+            .map(|s| self.shared.sealed_sent[s].load(Ordering::Relaxed))
+            .collect();
+
+        let merger_tx = self
+            .merger_tx
+            .as_ref()
+            .expect("merger_tx lives until finish");
+        let (reply_tx, reply_rx) = bounded(1);
+        merger_tx
+            .send(MergerMsg::Checkpoint { reply: reply_tx })
+            .map_err(|_| wal_err(None, "merger channel closed".to_string()))?;
+        let merger_bytes = reply_rx
+            .recv_timeout(BARRIER_TIMEOUT)
+            .map_err(|_| wal_err(None, "merger barrier timed out".to_string()))?;
+        let merger = MergerCkpt::decode(&mut merger_bytes.as_slice())
+            .map_err(|e| wal_err(None, e.to_string()))?;
+
+        let live = {
+            let live = self.shared.live.lock();
+            LiveCkpt {
+                next_id: live.ids.peek(),
+                micros_by_day: live
+                    .micros_by_day
+                    .iter()
+                    .map(|(day, micros)| (*day, micros.clone()))
+                    .collect(),
+                region_f_by_day: live
+                    .region_f_by_day
+                    .iter()
+                    .map(|(day, f)| (*day, f.clone()))
+                    .collect(),
+                macros: live.macros.snapshot(),
+                persisted_days: live.persisted_days.iter().copied().collect(),
+            }
+        };
+
+        let doc = CheckpointDoc {
+            last_seq: self.wal_seq,
+            current_window: self.current_window,
+            ingest_seq: self.ingest_seq,
+            shards: shard_states
+                .into_iter()
+                .enumerate()
+                .map(|(shard, (clock, open))| ShardCkpt {
+                    clock,
+                    open,
+                    sealed_sent: sealed[shard],
+                    wal_floor: floors[shard],
+                })
+                .collect(),
+            merger,
+            live,
+        };
+        write_checkpoint(&self.io, &wal_dir, &doc).map_err(|e| wal_err(None, e.to_string()))?;
+        for (shard, &floor) in floors.iter().enumerate() {
+            // Best effort: a leftover segment is re-skipped by seq on
+            // replay, never re-applied.
+            let _ = truncate_segments_below(&self.io, &shard_wal_dir(&wal_dir, shard), floor);
+        }
+        self.ckpt_base = Some(doc);
+        self.shared
+            .metrics
+            .checkpoints
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Records a shard's worker as dead; the shared metrics flag makes the
@@ -342,23 +1091,33 @@ impl MonitorService {
     }
 
     /// Shards whose worker has been observed dead — by a failed channel
-    /// send, a missing merger `Done`, or a panicked join.
+    /// send, a missing merger `Done`, or a panicked join. A successfully
+    /// respawned shard leaves this list.
     pub fn dead_shards(&self) -> Vec<usize> {
         self.shared.metrics.dead_shards()
     }
 
     /// Closes the feed, drains every shard, reconciles and persists what
-    /// remains, and returns the final metrics. Handles stay valid. A
-    /// panicked worker is counted dead rather than re-panicking here.
+    /// remains, syncs the WALs, and returns the final metrics. Handles
+    /// stay valid. A panicked worker is counted dead rather than
+    /// re-panicking here.
     pub fn finish(mut self) -> MetricsSnapshot {
         self.senders.clear();
         for (shard, worker) in self.workers.drain(..).enumerate() {
-            if worker.join().is_err() {
-                self.shared.metrics.mark_worker_dead(shard);
+            if let Some(worker) = worker {
+                if worker.join().is_err() {
+                    self.shared.metrics.mark_worker_dead(shard);
+                }
             }
         }
+        // Release our merger sender so its channel closes once the worker
+        // clones are gone.
+        self.merger_tx = None;
         if let Some(merger) = self.merger.take() {
             merger.join().expect("merger panicked");
+        }
+        for writer in self.writers.iter_mut().flatten() {
+            let _ = writer.sync();
         }
         self.shared.metrics.snapshot(self.shared.started.elapsed())
     }

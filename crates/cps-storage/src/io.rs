@@ -41,6 +41,10 @@ pub trait IoBackend: Send + Sync {
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
     /// Creates a directory and its parents.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Removes a file (the truncation step of log-compaction protocols:
+    /// a WAL segment made obsolete by a checkpoint is deleted through the
+    /// backend so fault sweeps cover it too).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
 }
 
 /// Cheaply cloneable handle to an [`IoBackend`].
@@ -86,6 +90,11 @@ impl Io {
     pub fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         self.backend.create_dir_all(path)
     }
+
+    /// Removes a file.
+    pub fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.backend.remove_file(path)
+    }
 }
 
 impl Default for Io {
@@ -126,6 +135,10 @@ impl IoBackend for RealIo {
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
     }
 }
 

@@ -17,7 +17,9 @@
 //! * [`cache`] — a block LRU so repeated scans of hot partitions (the online
 //!   query experiments) do not re-hit the filesystem,
 //! * [`io`] — the pluggable I/O backend every durable byte flows through;
-//!   `cps-testkit` swaps in a deterministic fault-injecting backend here.
+//!   `cps-testkit` swaps in a deterministic fault-injecting backend here,
+//! * [`wal`] — a CRC-framed, segment-rotated append log with clean-prefix
+//!   crash recovery; the monitor journals accepted records through it.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -29,10 +31,12 @@ pub mod io;
 pub mod iostats;
 pub mod reader;
 pub mod store;
+pub mod wal;
 pub mod writer;
 
 pub use io::{Io, IoBackend, IoRead, IoWrite};
 pub use iostats::IoStats;
 pub use reader::PartitionReader;
 pub use store::{DatasetCatalog, DatasetMeta, DatasetStore};
+pub use wal::{SyncPolicy, WalSegment, WalWriter};
 pub use writer::PartitionWriter;

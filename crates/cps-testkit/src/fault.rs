@@ -99,6 +99,8 @@ pub enum OpKind {
     },
     /// Directory creation.
     CreateDirAll,
+    /// File removal (WAL segment truncation after a checkpoint).
+    Remove,
 }
 
 /// One entry of the op log.
@@ -387,6 +389,129 @@ impl IoBackend for FaultIo {
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         self.gate(OpKind::CreateDirAll, path)?;
         std::fs::create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.gate(OpKind::Remove, path)?;
+        std::fs::remove_file(path)?;
+        // A removed file has no durable bytes to preserve at crash time.
+        self.state.lock().unwrap().files.remove(path);
+        Ok(())
+    }
+}
+
+/// One planted fault case produced by a [`CrashPlan`].
+pub struct CrashCase {
+    /// Human-readable description for assertion messages.
+    pub label: String,
+    /// Operation index the fault fires at.
+    pub at_op: u64,
+    /// The recorded operation at that index.
+    pub op: OpKind,
+    /// For torn cases: how many bytes of the write survive.
+    pub keep: Option<usize>,
+    /// A fresh backend with the fault planted, ready to re-run the
+    /// workload under.
+    pub fault: FaultIo,
+}
+
+/// Enumerates fault points for a deterministic workload.
+///
+/// The op sequence of a deterministic workload is itself deterministic,
+/// so a sweep records one clean run and then re-runs the workload once
+/// per planted fault:
+///
+/// ```ignore
+/// let plan = CrashPlan::record(|io| workload(io));
+/// for case in plan.crash_cases() {
+///     workload_expecting_failure(&case.fault.io());
+///     case.fault.simulate_crash().unwrap();
+///     check_recovery(&case.label);
+/// }
+/// ```
+pub struct CrashPlan {
+    ops: Vec<OpRecord>,
+}
+
+impl CrashPlan {
+    /// Runs `workload` once under a clean fault backend and records its
+    /// op log. The workload must succeed (panics otherwise): a sweep over
+    /// a failing baseline proves nothing.
+    pub fn record(workload: impl FnOnce(&Io)) -> Self {
+        let fault = FaultIo::new();
+        workload(&fault.io());
+        assert!(
+            !fault.crashed(),
+            "CrashPlan baseline run crashed; sweep would be meaningless"
+        );
+        Self { ops: fault.ops() }
+    }
+
+    /// The recorded op log.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Number of recorded operations (= number of crash cases).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the workload performed no backend operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// One case per recorded op: a power cut at that op boundary (the op
+    /// itself does not happen).
+    pub fn crash_cases(&self) -> impl Iterator<Item = CrashCase> + '_ {
+        self.ops.iter().map(|rec| CrashCase {
+            label: format!(
+                "crash at op {} ({:?} on {})",
+                rec.index,
+                rec.op,
+                rec.path.display()
+            ),
+            at_op: rec.index,
+            op: rec.op.clone(),
+            keep: None,
+            fault: FaultIo::with_plan(FaultPlan {
+                at_op: rec.index,
+                kind: FaultKind::Crash,
+            }),
+        })
+    }
+
+    /// One case per byte boundary of each write op matched by `select`:
+    /// the write lands its first `keep` bytes, then the backend crashes.
+    /// `keep` ranges over `0..len` (a full write is the clean case, not a
+    /// fault). Pass `|_| true` to sweep every write.
+    pub fn torn_cases<'a>(
+        &'a self,
+        select: impl Fn(&OpRecord) -> bool + 'a,
+    ) -> impl Iterator<Item = CrashCase> + 'a {
+        self.ops
+            .iter()
+            .filter_map(move |rec| match rec.op {
+                OpKind::Write { len } if select(rec) => Some((rec, len)),
+                _ => None,
+            })
+            .flat_map(|(rec, len)| {
+                (0..len).map(move |keep| CrashCase {
+                    label: format!(
+                        "torn write at op {} after {keep}/{len} bytes ({})",
+                        rec.index,
+                        rec.path.display()
+                    ),
+                    at_op: rec.index,
+                    op: rec.op.clone(),
+                    keep: Some(keep),
+                    fault: FaultIo::with_plan(FaultPlan {
+                        at_op: rec.index,
+                        kind: FaultKind::Torn { keep },
+                    }),
+                })
+            })
     }
 }
 

@@ -32,5 +32,7 @@ pub mod fixtures;
 pub mod seed;
 
 pub use canonical::{canonicalize, Canonical};
-pub use fault::{DurabilityMode, FaultIo, FaultKind, FaultPlan, OpKind, OpRecord};
+pub use fault::{
+    CrashCase, CrashPlan, DurabilityMode, FaultIo, FaultKind, FaultPlan, OpKind, OpRecord,
+};
 pub use seed::{run_seeded, seed_for};

@@ -19,7 +19,7 @@ use atypical::AtypicalCluster;
 use cps_core::CpsError;
 use cps_storage::Io;
 use cps_testkit::fixtures::{random_clusters, temp_dir};
-use cps_testkit::{canonicalize, Canonical, DurabilityMode, FaultIo, FaultKind, FaultPlan, OpKind};
+use cps_testkit::{canonicalize, Canonical, CrashPlan, DurabilityMode, FaultIo, OpKind};
 use std::path::Path;
 
 const DAYS: u32 = 3;
@@ -74,20 +74,19 @@ fn crash_at_every_op_recovers_a_clean_prefix() {
     let days = day_buckets(0xC0);
     let clean: Vec<Vec<Canonical>> = days.iter().map(|c| canonicalize(c)).collect();
 
-    let recording = FaultIo::new();
-    run_workload(&recording.io(), &temp_dir("crash-clean"), &days).expect("clean run");
-    let total_ops = recording.op_count();
-    assert!(total_ops > 10, "workload too small to be interesting");
+    let plan = CrashPlan::record(|io| {
+        run_workload(io, &temp_dir("crash-clean"), &days).expect("clean run");
+    });
+    assert!(plan.len() > 10, "workload too small to be interesting");
 
-    for at_op in 0..total_ops {
+    for case in plan.crash_cases() {
         let root = temp_dir("crash-case");
-        let fault = FaultIo::with_plan(FaultPlan {
-            at_op,
-            kind: FaultKind::Crash,
-        });
-        run_workload(&fault.io(), &root, &days).expect_err("a crash fault must abort the workload");
-        fault.simulate_crash().expect("materialize crash state");
-        check_recovery(&root, &clean, &format!("crash at op {at_op}"));
+        run_workload(&case.fault.io(), &root, &days)
+            .expect_err("a crash fault must abort the workload");
+        case.fault
+            .simulate_crash()
+            .expect("materialize crash state");
+        check_recovery(&root, &clean, &case.label);
         let _ = std::fs::remove_dir_all(&root);
     }
 }
@@ -97,37 +96,33 @@ fn torn_write_at_every_byte_recovers_a_clean_prefix() {
     let days = day_buckets(0xB0);
     let clean: Vec<Vec<Canonical>> = days.iter().map(|c| canonicalize(c)).collect();
 
-    let recording = FaultIo::new();
-    run_workload(&recording.io(), &temp_dir("torn-clean"), &days).expect("clean run");
-    let writes: Vec<(u64, usize)> = recording
+    let plan = CrashPlan::record(|io| {
+        run_workload(io, &temp_dir("torn-clean"), &days).expect("clean run");
+    });
+    let expected_cases: u64 = plan
         .ops()
         .iter()
         .filter_map(|op| match op.op {
-            OpKind::Write { len } => Some((op.index, len)),
+            OpKind::Write { len } => Some(len as u64),
             _ => None,
         })
-        .collect();
-    assert!(!writes.is_empty());
+        .sum();
+    assert!(expected_cases > 0);
 
     let mut cases = 0u64;
-    for &(at_op, len) in &writes {
-        for keep in 0..len {
-            let root = temp_dir("torn-case");
-            let fault = FaultIo::with_plan(FaultPlan {
-                at_op,
-                kind: FaultKind::Torn { keep },
-            });
-            run_workload(&fault.io(), &root, &days)
-                .expect_err("a torn write must abort the workload");
-            fault.simulate_crash().expect("materialize crash state");
-            check_recovery(&root, &clean, &format!("op {at_op} torn at byte {keep}"));
-            let _ = std::fs::remove_dir_all(&root);
-            cases += 1;
-        }
+    for case in plan.torn_cases(|_| true) {
+        let root = temp_dir("torn-case");
+        run_workload(&case.fault.io(), &root, &days)
+            .expect_err("a torn write must abort the workload");
+        case.fault
+            .simulate_crash()
+            .expect("materialize crash state");
+        check_recovery(&root, &clean, &case.label);
+        let _ = std::fs::remove_dir_all(&root);
+        cases += 1;
     }
     assert_eq!(
-        cases,
-        writes.iter().map(|&(_, len)| len as u64).sum::<u64>(),
+        cases, expected_cases,
         "sweep must cover every byte of every write"
     );
 }

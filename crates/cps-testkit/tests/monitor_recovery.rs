@@ -1,0 +1,534 @@
+//! The tentpole crash-equivalence sweeps for the durable monitor: kill
+//! the whole service at *every* backend operation boundary (WAL appends,
+//! group-commit fsyncs, segment rotations, checkpoint writes, segment
+//! truncations), recover from checkpoint + WAL replay, resume the feed at
+//! [`RecoveryReport::resume_from`], and require the final state to equal
+//! an uninterrupted run's — bit-identical for one shard, as canonical
+//! multisets across shards (where merger arrival order is scheduling-
+//! dependent by design).
+//!
+//! Also covered: torn WAL frames at every byte boundary of representative
+//! appends, worker kill + supervised respawn with zero record loss,
+//! respawn-budget exhaustion surfacing the typed
+//! [`MonitorError::ShardFailed`], restart after a clean shutdown, and the
+//! `start_with` guard against silently shadowing durable state.
+
+use atypical::online::OnlineExtractor;
+use atypical::AtypicalCluster;
+use cps_core::{AtypicalRecord, Params, WindowSpec};
+use cps_geo::RoadNetwork;
+use cps_monitor::{
+    DurabilityConfig, FaultConfig, FsyncPolicy, MonitorConfig, MonitorError, MonitorService,
+    OverflowPolicy, WorkerKill,
+};
+use cps_storage::Io;
+use cps_testkit::fixtures::{temp_dir, tiny_day};
+use cps_testkit::{canonicalize, Canonical, CrashPlan, OpKind};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Sweeps re-run the whole service once per fault point; a bounded feed
+/// keeps the op log (and so the sweep) small enough to stay exhaustive.
+const FEED_LEN: usize = 120;
+
+struct Fixture {
+    network: Arc<RoadNetwork>,
+    records: Vec<AtypicalRecord>,
+    params: Params,
+    spec: WindowSpec,
+}
+
+fn fixture() -> Fixture {
+    let (sim, mut records) = tiny_day(11);
+    records.truncate(FEED_LEN);
+    assert!(records.len() >= 100, "fixture day too small for the sweeps");
+    Fixture {
+        network: Arc::new(sim.network().clone()),
+        records,
+        params: Params::paper_defaults(),
+        spec: sim.config().spec,
+    }
+}
+
+fn config(fx: &Fixture, shards: usize, wal_dir: &Path, checkpoint_interval: u64) -> MonitorConfig {
+    MonitorConfig {
+        shards,
+        params: fx.params,
+        spec: fx.spec,
+        overflow: OverflowPolicy::Block,
+        durability: DurabilityConfig {
+            wal_dir: Some(wal_dir.to_path_buf()),
+            fsync: FsyncPolicy::Group,
+            group_commit_records: 4,
+            checkpoint_interval_records: checkpoint_interval,
+            respawn_budget: 0,
+            // The minimum: frames are a few dozen bytes, so rotations
+            // actually happen inside the bounded feed.
+            segment_bytes: 1024,
+        },
+        ..MonitorConfig::default()
+    }
+}
+
+/// The pipeline state the sweeps compare: live micro-clusters in
+/// day-then-finalization order and the live macro fixpoint set in
+/// admission order. For one shard both are deterministic, so equality is
+/// bit-identity of the full `⟨ID, SF, TF⟩` clusters.
+type Fingerprint = (Vec<AtypicalCluster>, Vec<AtypicalCluster>);
+
+/// Feeds records in order until the first ingest error; returns the index
+/// of the record the error rejected (`None` = whole feed accepted).
+fn feed(service: &mut MonitorService, records: &[AtypicalRecord]) -> Option<usize> {
+    for (i, &record) in records.iter().enumerate() {
+        match service.ingest(record) {
+            Ok(true) => {}
+            Ok(false) => panic!("Block policy must not drop"),
+            Err(_) => return Some(i),
+        }
+    }
+    None
+}
+
+/// One full service lifetime under `io`: start, feed until the first
+/// error, finish. Returns where the feed stopped and the final state;
+/// `None` if the crash hit `start_with` itself (nothing ran).
+fn try_run_service(
+    io: &Io,
+    fx: &Fixture,
+    config: &MonitorConfig,
+) -> Option<(Option<usize>, Fingerprint)> {
+    let mut service = MonitorService::start_with(config, fx.network.clone(), io.clone()).ok()?;
+    let handle = service.handle();
+    let stopped = feed(&mut service, &fx.records);
+    service.finish();
+    let fp = (handle.live_micro_clusters(), handle.live_macro_clusters());
+    Some((stopped, fp))
+}
+
+/// [`try_run_service`] for runs whose start must succeed.
+fn run_service(io: &Io, fx: &Fixture, config: &MonitorConfig) -> (Option<usize>, Fingerprint) {
+    try_run_service(io, fx, config).expect("service starts")
+}
+
+/// Recovers from the crashed state under the real backend, resumes the
+/// feed at the reported position, and returns the final state.
+fn recover_and_resume(fx: &Fixture, config: &MonitorConfig) -> Fingerprint {
+    let (mut service, report) =
+        MonitorService::recover(config, fx.network.clone()).expect("recovery succeeds");
+    let handle = service.handle();
+    let resume = report.resume_from as usize;
+    assert!(
+        resume <= fx.records.len(),
+        "resume_from {resume} exceeds the feed"
+    );
+    assert!(
+        feed(&mut service, &fx.records[resume..]).is_none(),
+        "resumed feed must be accepted in full"
+    );
+    let metrics = service.finish();
+    assert_eq!(metrics.recoveries, 1);
+    (handle.live_micro_clusters(), handle.live_macro_clusters())
+}
+
+fn canonical(fp: &Fingerprint) -> Vec<Canonical> {
+    canonicalize(&fp.0)
+}
+
+/// Runs the full crash sweep for one config shape: record the clean op
+/// log, then for every op boundary crash there, recover, resume, and
+/// compare against the uninterrupted run through `check`.
+fn sweep_every_op(
+    fx: &Fixture,
+    shards: usize,
+    checkpoint_interval: u64,
+    tag: &str,
+    check: impl Fn(&Fingerprint, &Fingerprint, &str),
+) {
+    let mut clean = None;
+    let plan = CrashPlan::record(|io| {
+        let wal_dir = temp_dir(&format!("{tag}-clean"));
+        let cfg = config(fx, shards, &wal_dir, checkpoint_interval);
+        let (stopped, fp) = run_service(io, fx, &cfg);
+        assert_eq!(stopped, None, "baseline run must accept the whole feed");
+        clean = Some(fp);
+    });
+    let clean = clean.unwrap();
+    assert!(
+        plan.len() > 100,
+        "op log too small to be interesting: {} ops",
+        plan.len()
+    );
+    if checkpoint_interval > 0 {
+        assert!(
+            plan.ops().iter().any(|op| matches!(op.op, OpKind::Remove)),
+            "checkpointing must truncate dead segments in the baseline"
+        );
+    }
+
+    for case in plan.crash_cases() {
+        let wal_dir = temp_dir(&format!("{tag}-case"));
+        let cfg = config(fx, shards, &wal_dir, checkpoint_interval);
+        let io = case.fault.io();
+        // A crash during `start_with` leaves nothing running; ingest may
+        // also swallow the fault entirely (checkpoint failures only
+        // postpone truncation). The crash state is materialized either
+        // way and recovery must cope.
+        let _ = try_run_service(&io, fx, &cfg);
+        case.fault
+            .simulate_crash()
+            .expect("materialize crash state");
+        let recovered = recover_and_resume(fx, &cfg);
+        check(&recovered, &clean, &case.label);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+}
+
+/// One shard: every message reaches the merger in a deterministic order,
+/// so a crash planted at every op boundary must recover to the
+/// bit-identical state — same clusters, same IDs, same admission order.
+#[test]
+fn crash_at_every_op_is_bit_identical_for_one_shard() {
+    let fx = fixture();
+    sweep_every_op(&fx, 1, 30, "rec1", |recovered, clean, label| {
+        assert_eq!(recovered, clean, "{label}: recovered state diverged");
+    });
+}
+
+/// Four shards with checkpoints and segment truncation in the loop:
+/// merger arrival order is scheduling-dependent, so equivalence is the
+/// canonical micro-cluster multiset.
+#[test]
+fn crash_at_every_op_is_canonically_equal_across_shards() {
+    let fx = fixture();
+    let mut checked = 0u32;
+    sweep_every_op(&fx, 4, 25, "rec4", |recovered, clean, label| {
+        assert_eq!(
+            canonical(recovered),
+            canonical(clean),
+            "{label}: recovered micro-clusters diverged"
+        );
+    });
+    let _ = &mut checked;
+}
+
+/// A WAL-enabled run must produce exactly the state a WAL-less run does —
+/// durability is an overlay, not a semantic change.
+#[test]
+fn wal_overlay_does_not_change_the_output() {
+    let fx = fixture();
+    let wal_dir = temp_dir("overlay");
+    let cfg = config(&fx, 1, &wal_dir, 30);
+    let (stopped, with_wal) = run_service(&Io::real(), &fx, &cfg);
+    assert_eq!(stopped, None);
+
+    let plain = MonitorConfig {
+        shards: 1,
+        params: fx.params,
+        spec: fx.spec,
+        overflow: OverflowPolicy::Block,
+        ..MonitorConfig::default()
+    };
+    let (stopped, without_wal) = run_service(&Io::real(), &fx, &plain);
+    assert_eq!(stopped, None);
+    assert_eq!(with_wal, without_wal);
+}
+
+/// Torn WAL frames: the power cut lands *inside* an append. Every byte
+/// boundary of three representative frames (early, mid-feed, and late —
+/// the last is past checkpoints) must recover to the bit-identical state:
+/// the torn frame is repaired away as a clean prefix and its record
+/// re-fed via `resume_from`.
+#[test]
+fn torn_frame_at_every_byte_recovers_bit_identically() {
+    let fx = fixture();
+    let mut clean = None;
+    let plan = CrashPlan::record(|io| {
+        let wal_dir = temp_dir("torn-clean");
+        let cfg = config(&fx, 1, &wal_dir, 30);
+        let (stopped, fp) = run_service(io, &fx, &cfg);
+        assert_eq!(stopped, None);
+        clean = Some(fp);
+    });
+    let clean = clean.unwrap();
+
+    // Representative frames: appends (writes on segment files, past the
+    // small segment header) spread across the feed.
+    let appends: Vec<u64> = plan
+        .ops()
+        .iter()
+        .filter(|rec| {
+            matches!(rec.op, OpKind::Write { len } if len > 20)
+                && rec.path.to_string_lossy().contains("shard-0")
+        })
+        .map(|rec| rec.index)
+        .collect();
+    assert!(appends.len() > 50, "too few appends: {}", appends.len());
+    let picks = [
+        appends[1],
+        appends[appends.len() / 2],
+        appends[appends.len() - 2],
+    ];
+
+    let mut cases = 0u32;
+    for case in plan.torn_cases(|rec| picks.contains(&rec.index)) {
+        let wal_dir = temp_dir("torn-case");
+        let cfg = config(&fx, 1, &wal_dir, 30);
+        let io = case.fault.io();
+        let (stopped, _) = run_service(&io, &fx, &cfg);
+        assert!(
+            stopped.is_some(),
+            "{}: a torn append must fail ingest",
+            case.label
+        );
+        case.fault
+            .simulate_crash()
+            .expect("materialize crash state");
+        let recovered = recover_and_resume(&fx, &cfg);
+        assert_eq!(recovered, clean, "{}: recovered state diverged", case.label);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        cases += 1;
+    }
+    assert!(cases > 60, "torn sweep too small: {cases} cases");
+}
+
+/// Worker kill under supervision: every death is respawned from
+/// checkpoint + WAL replay, the failed send retried, and zero records
+/// lost — the whole feed is accepted and the canonical output equals a
+/// single extractor over the same records.
+#[test]
+fn killed_workers_respawn_with_zero_record_loss() {
+    let fx = fixture();
+    let wal_dir = temp_dir("respawn");
+    let mut cfg = config(&fx, 4, &wal_dir, 30);
+    cfg.durability.respawn_budget = 8;
+    // Capacity 1 bounds the records parked in a dead worker's channel and
+    // forces the next send to observe the death.
+    cfg.channel_capacity = 1;
+    let probe = MonitorService::start(
+        &MonitorConfig {
+            shards: 4,
+            params: fx.params,
+            spec: fx.spec,
+            ..MonitorConfig::default()
+        },
+        fx.network.clone(),
+    )
+    .expect("probe starts");
+    let mut load = [0usize; 4];
+    for r in &fx.records {
+        load[probe.shard_map().shard_of(r.sensor)] += 1;
+    }
+    probe.finish();
+    let victim = (0..4).max_by_key(|&s| load[s]).unwrap();
+    assert!(load[victim] > 40, "victim shard too quiet: {load:?}");
+    cfg.faults = FaultConfig {
+        kill_worker: Some(WorkerKill {
+            shard: victim,
+            after_records: 20,
+        }),
+        ..FaultConfig::default()
+    };
+
+    let mut service = MonitorService::start(&cfg, fx.network.clone()).expect("service starts");
+    let handle = service.handle();
+    assert!(
+        feed(&mut service, &fx.records).is_none(),
+        "supervision must hide every death from ingest"
+    );
+    let metrics = service.finish();
+    assert!(metrics.respawns >= 1, "the kill hook must have fired");
+    assert_eq!(metrics.permanently_failed, 0);
+    assert_eq!(metrics.records_ingested, fx.records.len() as u64);
+    assert_eq!(metrics.records_dropped, 0);
+    assert_eq!(
+        metrics.workers_dead, metrics.respawns,
+        "each counted death was respawned"
+    );
+
+    let mut extractor = OnlineExtractor::new(&fx.network, fx.params, fx.spec);
+    for &record in &fx.records {
+        extractor.push(record).expect("feed is window-monotone");
+    }
+    assert_eq!(
+        canonicalize(&handle.live_micro_clusters()),
+        canonicalize(&extractor.finish()),
+        "respawned shards lost or duplicated records"
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// Budget exhaustion: with `after_records = 0` every incarnation dies on
+/// its first record, so a budget of 1 is spent on the second death and
+/// the shard surfaces the typed [`MonitorError::ShardFailed`] from then
+/// on, counted once in `permanently_failed`.
+#[test]
+fn respawn_budget_exhaustion_is_typed_and_counted_once() {
+    let fx = fixture();
+    let wal_dir = temp_dir("exhaust");
+    let mut cfg = config(&fx, 4, &wal_dir, 0);
+    cfg.durability.respawn_budget = 1;
+    cfg.channel_capacity = 1;
+    let probe = MonitorService::start(
+        &MonitorConfig {
+            shards: 4,
+            params: fx.params,
+            spec: fx.spec,
+            ..MonitorConfig::default()
+        },
+        fx.network.clone(),
+    )
+    .expect("probe starts");
+    let shard_of: Vec<usize> = fx
+        .records
+        .iter()
+        .map(|r| probe.shard_map().shard_of(r.sensor))
+        .collect();
+    probe.finish();
+    let mut load = [0usize; 4];
+    for &s in &shard_of {
+        load[s] += 1;
+    }
+    let victim = (0..4).max_by_key(|&s| load[s]).unwrap();
+    cfg.faults = FaultConfig {
+        kill_worker: Some(WorkerKill {
+            shard: victim,
+            after_records: 0,
+        }),
+        ..FaultConfig::default()
+    };
+
+    let mut service = MonitorService::start(&cfg, fx.network.clone()).expect("service starts");
+    let mut failures = 0u32;
+    let mut live_accepted = false;
+    for (&record, &shard) in fx.records.iter().zip(&shard_of) {
+        match service.ingest(record) {
+            Ok(true) => {
+                if shard != victim {
+                    live_accepted = true;
+                }
+            }
+            Ok(false) => panic!("Block policy must not drop"),
+            Err(MonitorError::ShardFailed {
+                shard: failed,
+                respawns,
+            }) => {
+                assert_eq!(failed, victim);
+                assert_eq!(respawns, 1);
+                failures += 1;
+            }
+            Err(other) => panic!("unexpected ingest error: {other}"),
+        }
+    }
+    assert!(failures > 0, "the budget must be exhausted by the feed");
+    assert!(live_accepted, "other shards must keep ingesting");
+    let metrics = service.finish();
+    assert_eq!(
+        metrics.permanently_failed, 1,
+        "counted once, not per reject"
+    );
+    assert_eq!(metrics.respawns, 1);
+    assert_eq!(metrics.dead_shards, vec![victim]);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// Restart after a *clean* shutdown mid-stream: no crash, no repair —
+/// recovery replays the log, resumes where the first run stopped, and the
+/// combined run equals one uninterrupted service bit-identically.
+#[test]
+fn clean_shutdown_restart_resumes_bit_identically() {
+    let fx = fixture();
+    let wal_dir = temp_dir("restart");
+    let cfg = config(&fx, 1, &wal_dir, 30);
+
+    let mut first = MonitorService::start(&cfg, fx.network.clone()).expect("service starts");
+    let half = fx.records.len() / 2;
+    assert!(feed(&mut first, &fx.records[..half]).is_none());
+    first.finish();
+
+    let (mut second, report) =
+        MonitorService::recover(&cfg, fx.network.clone()).expect("recovery succeeds");
+    assert_eq!(
+        report.resume_from as usize, half,
+        "clean WAL covers the prefix"
+    );
+    assert!(report.had_checkpoint, "interval 30 must have checkpointed");
+    assert!(
+        (report.replayed_records as usize) < half,
+        "checkpoint must bound the replayed suffix"
+    );
+    assert_eq!(
+        report.repaired_tails, 0,
+        "clean shutdown leaves no torn tail"
+    );
+    let handle = second.handle();
+    assert!(feed(&mut second, &fx.records[half..]).is_none());
+    second.finish();
+    let resumed = (handle.live_micro_clusters(), handle.live_macro_clusters());
+
+    let uninterrupted_dir = temp_dir("restart-ref");
+    let ref_cfg = config(&fx, 1, &uninterrupted_dir, 30);
+    let (stopped, reference) = run_service(&Io::real(), &fx, &ref_cfg);
+    assert_eq!(stopped, None);
+    assert_eq!(
+        resumed, reference,
+        "restart diverged from uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&uninterrupted_dir);
+}
+
+/// `start` must refuse a wal_dir holding a previous run's durable state
+/// instead of silently shadowing it with fresh segments.
+#[test]
+fn start_refuses_a_dirty_wal_dir() {
+    let fx = fixture();
+    let wal_dir = temp_dir("dirty");
+    let cfg = config(&fx, 1, &wal_dir, 0);
+    let mut service = MonitorService::start(&cfg, fx.network.clone()).expect("fresh dir starts");
+    assert!(feed(&mut service, &fx.records[..20]).is_none());
+    service.finish();
+
+    let err = MonitorService::start(&cfg, fx.network.clone())
+        .err()
+        .expect("dirty wal_dir must be refused");
+    assert!(
+        err.contains("recover"),
+        "error must point at recovery: {err}"
+    );
+    // recover() is the sanctioned path and must succeed on the same dir.
+    let (service, report) =
+        MonitorService::recover(&cfg, fx.network.clone()).expect("recovery succeeds");
+    assert_eq!(report.resume_from, 20);
+    service.finish();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// `recover` needs a WAL configured, and a checkpoint written for a
+/// different shard count is a typed config error, not silent corruption.
+#[test]
+fn recover_rejects_missing_wal_and_shard_mismatch() {
+    let fx = fixture();
+    let plain = MonitorConfig {
+        shards: 1,
+        params: fx.params,
+        spec: fx.spec,
+        ..MonitorConfig::default()
+    };
+    let err = MonitorService::recover(&plain, fx.network.clone())
+        .err()
+        .expect("recover without a WAL must fail");
+    assert!(err.contains("wal_dir"), "{err}");
+
+    // Run one shard with checkpoints, then ask recovery for four.
+    let wal_dir: PathBuf = temp_dir("mismatch");
+    let cfg = config(&fx, 1, &wal_dir, 30);
+    let mut service = MonitorService::start(&cfg, fx.network.clone()).expect("service starts");
+    assert!(feed(&mut service, &fx.records).is_none());
+    service.finish();
+    let wrong = config(&fx, 4, &wal_dir, 30);
+    let err = MonitorService::recover(&wrong, fx.network.clone())
+        .err()
+        .expect("shard mismatch must be refused");
+    assert!(err.contains("shards"), "{err}");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}

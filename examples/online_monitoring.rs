@@ -44,7 +44,9 @@ fn main() {
         } else {
             // Quiet readings still move the shard clocks forward so open
             // events seal on time.
-            service.advance_to(reading.window);
+            service
+                .advance_to(reading.window)
+                .expect("advance on a healthy service");
         }
 
         // Surface newly reconciled micro-clusters as they finalize.

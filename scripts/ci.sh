@@ -35,6 +35,14 @@ cargo test --workspace -q
 echo "==> CPS_FAULT_SEED=42 cargo test -p cps-testkit -q"
 CPS_FAULT_SEED=42 cargo test -p cps-testkit -q
 
+# Crash-recovery gate for the durable monitor under the same fixed seed:
+# the exhaustive every-op-boundary crash sweeps plus the WAL-format fuzz
+# (torn frames at every byte of representative appends, tail repair,
+# segment rotation edge cases in cps-storage's wal unit tests).
+echo "==> CPS_FAULT_SEED=42 monitor crash-recovery sweeps"
+CPS_FAULT_SEED=42 cargo test -q -p cps-testkit --test monitor_recovery
+CPS_FAULT_SEED=42 cargo test -q -p cps-storage wal
+
 # Parallel-engine matrix: the bit-identity differential suites once more
 # with the thread sweep pinned to the sequential path and to a fixed
 # parallel width, so CI certifies both ends of the knob regardless of what
@@ -64,5 +72,15 @@ echo "==> repro forest (smoke)"
 cargo run -q -p cps-bench --bin repro -- forest \
   --days 8 --threads 1,4 --iters 1 --bench-out results/BENCH_forest_smoke.json
 test -s results/BENCH_forest_smoke.json
+
+# Recovery bench smoke: one day, capped feed, one iteration. The run
+# itself asserts planted checkpoints shrink the replayed suffix and that
+# recovery succeeds at every suffix length, so this gates the WAL +
+# checkpoint + replay path end to end on top of the sweeps above.
+echo "==> repro monitor-recovery (smoke)"
+cargo run -q -p cps-bench --bin repro -- monitor-recovery \
+  --days 1 --max-records 300 --iters 1 \
+  --bench-out results/BENCH_recovery_smoke.json
+test -s results/BENCH_recovery_smoke.json
 
 echo "CI green."
