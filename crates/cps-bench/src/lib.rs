@@ -21,6 +21,7 @@ pub mod figs;
 pub mod forest_bench;
 pub mod integrate_bench;
 pub mod recovery_bench;
+pub mod serving_bench;
 pub mod table;
 pub mod workbench;
 

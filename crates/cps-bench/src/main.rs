@@ -15,7 +15,8 @@
 //!   integrate        Naive vs indexed integration perf trajectory
 //!   forest           Parallel forest construction: thread sweep + bit-identity
 //!   monitor-recovery Durable monitor: WAL ingest tax + recovery vs suffix length
-//!   all              Everything above (except the three benches)
+//!   query-serving    Concurrent readers vs ingest: read-path matrix + cache hit rate
+//!   all              Everything above (except the four benches)
 //!
 //! Options:
 //!   --scale <tiny|small|medium|paper>   deployment scale (default tiny)
@@ -24,12 +25,14 @@
 //!   --days <n>                          days per dataset (default 30)
 //!   --out <dir>                         results directory (default results/)
 //!   --sizes <n,n,...>                   `integrate` input sizes (default 1000,5000,20000)
-//!   --threads <n,n,...>                 `forest` thread sweep (default 1,2,4,8)
+//!   --threads <n,n,...>                 `forest` thread sweep / `query-serving`
+//!                                       reader sweep (default 1,2,4,8)
 //!   --iters <n>                         `integrate`/`forest` reps (default 3)
-//!   --max-records <n>                   `monitor-recovery` feed cap (default 0 = all)
+//!   --max-records <n>                   `monitor-recovery`/`query-serving` feed cap
+//!                                       (default 0 = all)
 //!   --bench-out <file>                  bench artifact (default BENCH_integrate.json,
-//!                                       BENCH_forest.json, or BENCH_recovery.json
-//!                                       by command)
+//!                                       BENCH_forest.json, BENCH_recovery.json, or
+//!                                       BENCH_query_serving.json by command)
 //! ```
 
 use cps_bench::figs;
@@ -143,7 +146,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] [--sizes N,N] [--threads N,N] [--iters N] [--max-records N] [--bench-out FILE] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|integrate|forest|monitor-recovery|all>");
+            eprintln!("error: {e}\n\nusage: repro [--scale S] [--seed N] [--datasets K] [--days N] [--out DIR] [--sizes N,N] [--threads N,N] [--iters N] [--max-records N] [--bench-out FILE] <settings|fig15|fig16|fig17|fig18|fig19|fig20|fig21|ablate|predict|context|integrate|forest|monitor-recovery|query-serving|all>");
             return ExitCode::FAILURE;
         }
     };
@@ -201,6 +204,33 @@ fn main() -> ExitCode {
         let out = args.bench_out.as_deref().unwrap_or("BENCH_recovery.json");
         let path = std::path::Path::new(out);
         if let Err(e) = cps_bench::recovery_bench::save_json(&report, &config, path) {
+            eprintln!("error saving {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    if args.command == "query-serving" {
+        let config = cps_bench::serving_bench::ServingBenchConfig {
+            scale: args.scale,
+            seed: args.seed,
+            // A month of feed keeps each cell's ingest long enough for
+            // readers to run a real closed loop against a growing
+            // sealed-day prefix; bound it with --days/--max-records for
+            // smoke runs.
+            days: args.days,
+            readers: args.threads.clone(),
+            iters: args.iters,
+            max_records: args.max_records,
+            ..cps_bench::serving_bench::ServingBenchConfig::default()
+        };
+        let report = cps_bench::serving_bench::run(&config);
+        let out = args
+            .bench_out
+            .as_deref()
+            .unwrap_or("BENCH_query_serving.json");
+        let path = std::path::Path::new(out);
+        if let Err(e) = cps_bench::serving_bench::save_json(&report, &config, path) {
             eprintln!("error saving {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

@@ -28,6 +28,13 @@
 //! checkpoint_interval_records = 50000   # 0 = never checkpoint
 //! respawn_budget = 3          # worker respawns per shard; 0 = off
 //! segment_bytes = 4194304     # WAL segment rotation size
+//!
+//! [serving]
+//! publish_every_clusters = 1  # snapshot cadence in finalized clusters
+//! publish_every_windows = 1   # snapshot cadence in window advances
+//! cache_shards = 8            # result-cache lock shards
+//! cache_capacity = 4096       # result-cache entries across all shards
+//! cache = true                # false = recompute every query
 //! ```
 
 use cps_core::{Params, WindowSpec};
@@ -163,6 +170,56 @@ impl DurabilityConfig {
     }
 }
 
+/// Snapshot-publication and result-cache knobs of the serving layer
+/// (`cps-serve`). Publication is always on — the cadences only bound how
+/// stale a pinned [`cps_serve::ReadView`] can be relative to the merger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Publish after this many finalized micro-clusters (≥ 1; 1 = every
+    /// admission, the freshest reads).
+    pub publish_every_clusters: u64,
+    /// Publish after the global clock advances this many windows (≥ 1),
+    /// so quiet periods still refresh readers.
+    pub publish_every_windows: u32,
+    /// Lock shards of the result cache (≥ 1).
+    pub cache_shards: usize,
+    /// Total result-cache entries across all shards (≥ 1).
+    pub cache_capacity: usize,
+    /// Whether query results are cached at all; `false` recomputes every
+    /// query against the pinned snapshot (useful for differential runs).
+    pub cache: bool,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            publish_every_clusters: 1,
+            publish_every_windows: 1,
+            cache_shards: 8,
+            cache_capacity: 4096,
+            cache: true,
+        }
+    }
+}
+
+impl ServingConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.publish_every_clusters == 0 {
+            return Err("serving.publish_every_clusters must be at least 1".to_string());
+        }
+        if self.publish_every_windows == 0 {
+            return Err("serving.publish_every_windows must be at least 1".to_string());
+        }
+        if self.cache_shards == 0 {
+            return Err("serving.cache_shards must be at least 1".to_string());
+        }
+        if self.cache_capacity == 0 {
+            return Err("serving.cache_capacity must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
 /// Replay source for the binary and benchmarks: a simulated deployment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReplayConfig {
@@ -206,6 +263,8 @@ pub struct MonitorConfig {
     pub replay: ReplayConfig,
     /// WAL, checkpoint, and supervision knobs (default: all off).
     pub durability: DurabilityConfig,
+    /// Snapshot-publication cadence and result-cache knobs.
+    pub serving: ServingConfig,
     /// Deterministic fault hooks; always [`FaultConfig::default`] (no
     /// faults) outside the test harness.
     pub faults: FaultConfig,
@@ -223,6 +282,7 @@ impl Default for MonitorConfig {
             snapshot_dir: None,
             replay: ReplayConfig::default(),
             durability: DurabilityConfig::default(),
+            serving: ServingConfig::default(),
             faults: FaultConfig::default(),
         }
     }
@@ -291,6 +351,19 @@ impl MonitorConfig {
                 "durability.segment_bytes" => {
                     config.durability.segment_bytes = value.as_usize(key)? as u64;
                 }
+                "serving.publish_every_clusters" => {
+                    config.serving.publish_every_clusters = value.as_usize(key)? as u64;
+                }
+                "serving.publish_every_windows" => {
+                    config.serving.publish_every_windows = value.as_usize(key)? as u32;
+                }
+                "serving.cache_shards" => {
+                    config.serving.cache_shards = value.as_usize(key)?;
+                }
+                "serving.cache_capacity" => {
+                    config.serving.cache_capacity = value.as_usize(key)?;
+                }
+                "serving.cache" => config.serving.cache = value.as_bool(key)?,
                 other => return Err(format!("unknown configuration key {other:?}")),
             }
         }
@@ -356,6 +429,13 @@ impl MonitorConfig {
         );
         let _ = writeln!(out, "respawn_budget = {}", d.respawn_budget);
         let _ = writeln!(out, "segment_bytes = {}", d.segment_bytes);
+        let _ = writeln!(out, "\n[serving]");
+        let s = &self.serving;
+        let _ = writeln!(out, "publish_every_clusters = {}", s.publish_every_clusters);
+        let _ = writeln!(out, "publish_every_windows = {}", s.publish_every_windows);
+        let _ = writeln!(out, "cache_shards = {}", s.cache_shards);
+        let _ = writeln!(out, "cache_capacity = {}", s.cache_capacity);
+        let _ = writeln!(out, "cache = {}", s.cache);
         out
     }
 
@@ -374,6 +454,7 @@ impl MonitorConfig {
             return Err("red_cell_miles must be positive".to_string());
         }
         self.durability.validate()?;
+        self.serving.validate()?;
         if let Some(kill) = self.faults.kill_worker {
             if kill.shard >= self.shards {
                 return Err(format!(
@@ -613,6 +694,41 @@ mod tests {
     }
 
     #[test]
+    fn serving_section_parses() {
+        let config = MonitorConfig::from_toml_str(
+            r#"
+            [serving]
+            publish_every_clusters = 16
+            publish_every_windows = 4
+            cache_shards = 2
+            cache_capacity = 128
+            cache = false
+            "#,
+        )
+        .unwrap();
+        let s = &config.serving;
+        assert_eq!(s.publish_every_clusters, 16);
+        assert_eq!(s.publish_every_windows, 4);
+        assert_eq!(s.cache_shards, 2);
+        assert_eq!(s.cache_capacity, 128);
+        assert!(!s.cache);
+        assert_eq!(MonitorConfig::default().serving, ServingConfig::default());
+    }
+
+    #[test]
+    fn degenerate_serving_knobs_are_rejected() {
+        for bad in [
+            "[serving]\npublish_every_clusters = 0",
+            "[serving]\npublish_every_windows = 0",
+            "[serving]\ncache_shards = 0",
+            "[serving]\ncache_capacity = 0",
+        ] {
+            let err = MonitorConfig::from_toml_str(bad).unwrap_err();
+            assert!(err.contains("serving."), "{err}");
+        }
+    }
+
+    #[test]
     fn toml_roundtrip_preserves_config() {
         let mut config = MonitorConfig {
             shards: 3,
@@ -624,11 +740,14 @@ mod tests {
         config.durability.fsync = FsyncPolicy::Never;
         config.durability.checkpoint_interval_records = 500;
         config.durability.respawn_budget = 4;
+        config.serving.publish_every_clusters = 32;
+        config.serving.cache = false;
         let reparsed = MonitorConfig::from_toml_str(&config.to_toml()).unwrap();
         assert_eq!(reparsed.shards, config.shards);
         assert_eq!(reparsed.overflow, config.overflow);
         assert_eq!(reparsed.snapshot_dir, config.snapshot_dir);
         assert_eq!(reparsed.durability, config.durability);
+        assert_eq!(reparsed.serving, config.serving);
         assert_eq!(reparsed.replay, config.replay);
         assert_eq!(reparsed.spec, config.spec);
         // Defaults round-trip too (durability disabled).

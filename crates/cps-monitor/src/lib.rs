@@ -16,7 +16,13 @@
 //! incrementally, macro-clusters held at the Algorithm 3 fixpoint, and
 //! completed day buckets persisted through [`atypical::store::ForestStore`].
 //! [`MonitorHandle`] exposes significant-cluster queries (Definition 5)
-//! and red-zone-guided window queries over the live + persisted levels.
+//! and red-zone-guided window queries over the live + persisted levels —
+//! through the live mutex for the freshest answer, or lock-free through
+//! the `cps-serve` snapshot layer ([`MonitorHandle::read_view`] /
+//! [`MonitorHandle::serve`]): the merger publishes immutable epoch-stamped
+//! [`cps_serve::LiveSnapshot`]s at the `[serving]` cadence, and readers pin
+//! one with a single atomic load, optionally behind the sharded result
+//! cache.
 
 pub mod config;
 pub mod durability;
@@ -29,8 +35,9 @@ pub mod shard;
 
 pub use config::{
     DropBurst, DurabilityConfig, FaultConfig, FsyncPolicy, MonitorConfig, OverflowPolicy,
-    ReplayConfig, WorkerKill,
+    ReplayConfig, ServingConfig, WorkerKill,
 };
+pub use cps_serve::{CacheStats, LiveSnapshot, ReadView, ServeHandle};
 pub use error::MonitorError;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use service::{GuidedQuery, MonitorHandle, MonitorService, RecoveryReport};

@@ -1,8 +1,22 @@
 //! Mutable query-side state of the running service.
 //!
-//! The merger thread is the only writer; query handles take short read
-//! passes under the same mutex. Three structures are maintained
-//! incrementally as micro-clusters are finalized:
+//! The merger thread is the only writer. Queries take one of two paths:
+//! the classic mutex path (short read passes under the same lock the
+//! merger writes under — kept as the differential-test oracle) and the
+//! lock-free snapshot path, where the merger publishes immutable
+//! [`cps_serve::LiveSnapshot`]s at a configurable cadence and readers pin
+//! them through a [`cps_serve::ReadView`] without ever touching the lock.
+//!
+//! To make publication cheap, every container a snapshot exposes is held
+//! copy-on-write: day buckets, per-day region `F` vectors, and the
+//! persisted-day set live behind `Arc`s that snapshots share. The merger
+//! mutates through [`Arc::make_mut`], which clones a bucket only when a
+//! published snapshot still references it — so publication is a handful
+//! of pointer bumps and mutation pays at most one day-bucket clone per
+//! publication, never a full-state copy.
+//!
+//! Three structures are maintained incrementally as micro-clusters are
+//! finalized:
 //!
 //! - `micros_by_day` — the live (not yet persisted) day level of the
 //!   forest;
@@ -16,7 +30,8 @@
 //!   [`Params::indexed_integration`] (default on) selects the
 //!   inverted-index integrator, which prunes result members sharing no
 //!   sensor and no window with the arriving cluster instead of scanning
-//!   the whole fixpoint set; both strategies maintain the same set.
+//!   the whole fixpoint set; both strategies maintain the same set and
+//!   both instrument their scans ([`LiveMacros::stats`]).
 
 use atypical::integrate::{IntegrationStats, TimeAlignment};
 use atypical::similarity::similarity;
@@ -25,7 +40,9 @@ use atypical::IndexedIntegrator;
 use cps_core::ids::ClusterIdGen;
 use cps_core::{Params, Severity, WindowSpec};
 use cps_geo::grid::SensorPartition;
+use cps_serve::LiveSnapshot;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The live macro-cluster fixpoint set, maintained by either integration
 /// strategy. Live comparison uses absolute time windows (the monitor
@@ -33,8 +50,16 @@ use std::collections::{BTreeMap, BTreeSet};
 /// offline forest roll-ups).
 pub(crate) enum LiveMacros {
     /// Naive incremental scan — the oracle the indexed path is
-    /// differential-tested against.
-    Naive(Vec<AtypicalCluster>),
+    /// differential-tested against. Instrumented like the offline naive
+    /// integrator: every similarity evaluation counts one comparison
+    /// (including the evaluation that hits), every merge one merge.
+    Naive {
+        /// The fixpoint set.
+        set: Vec<AtypicalCluster>,
+        /// Scan counters (`candidates_pruned`/`bound_skips` stay zero:
+        /// the naive path prunes nothing).
+        stats: IntegrationStats,
+    },
     /// Inverted-index candidate generation (see
     /// `atypical::integrate_index`). Boxed: the integrator's slab and
     /// scratch arrays dwarf the naive variant.
@@ -49,14 +74,17 @@ impl LiveMacros {
                 TimeAlignment::Absolute,
             )))
         } else {
-            LiveMacros::Naive(Vec::new())
+            LiveMacros::Naive {
+                set: Vec::new(),
+                stats: IntegrationStats::default(),
+            }
         }
     }
 
     /// Number of live macro-clusters.
     pub(crate) fn len(&self) -> usize {
         match self {
-            LiveMacros::Naive(v) => v.len(),
+            LiveMacros::Naive { set, .. } => set.len(),
             LiveMacros::Indexed(ix) => ix.len(),
         }
     }
@@ -64,16 +92,17 @@ impl LiveMacros {
     /// Clones the current fixpoint set.
     pub(crate) fn snapshot(&self) -> Vec<AtypicalCluster> {
         match self {
-            LiveMacros::Naive(v) => v.clone(),
+            LiveMacros::Naive { set, .. } => set.clone(),
             LiveMacros::Indexed(ix) => ix.snapshot(),
         }
     }
 
-    /// Counters from the indexed integrator (zeros on the naive path,
-    /// which does not instrument its scan).
+    /// Scan counters from either strategy. Comparisons/merges are live on
+    /// both paths; `candidates_pruned`/`bound_skips` are zero on the
+    /// naive path (it prunes nothing, by construction).
     pub(crate) fn stats(&self) -> IntegrationStats {
         match self {
-            LiveMacros::Naive(_) => IntegrationStats::default(),
+            LiveMacros::Naive { stats, .. } => *stats,
             LiveMacros::Indexed(ix) => ix.stats(),
         }
     }
@@ -84,18 +113,24 @@ impl LiveMacros {
     fn integrate(&mut self, cluster: AtypicalCluster, params: &Params, ids: &mut ClusterIdGen) {
         match self {
             LiveMacros::Indexed(ix) => ix.admit(cluster, ids),
-            LiveMacros::Naive(macros) => {
+            LiveMacros::Naive { set, stats } => {
                 let mut queue = vec![cluster];
                 while let Some(candidate) = queue.pop() {
-                    let hit = macros
-                        .iter()
-                        .position(|m| similarity(&candidate, m, params.balance) > params.delta_sim);
+                    let mut hit = None;
+                    for (i, m) in set.iter().enumerate() {
+                        stats.comparisons += 1;
+                        if similarity(&candidate, m, params.balance) > params.delta_sim {
+                            hit = Some(i);
+                            break;
+                        }
+                    }
                     match hit {
                         Some(i) => {
-                            let existing = macros.swap_remove(i);
+                            let existing = set.swap_remove(i);
+                            stats.merges += 1;
                             queue.push(candidate.merge(&existing, ids.next_id()));
                         }
-                        None => macros.push(candidate),
+                        None => set.push(candidate),
                     }
                 }
             }
@@ -106,13 +141,21 @@ impl LiveMacros {
 pub(crate) struct LiveState {
     pub(crate) ids: ClusterIdGen,
     /// Finalized micro-clusters per day, until the day is persisted.
-    pub(crate) micros_by_day: BTreeMap<u32, Vec<AtypicalCluster>>,
+    /// Copy-on-write: published snapshots share the day buckets.
+    pub(crate) micros_by_day: BTreeMap<u32, Arc<Vec<AtypicalCluster>>>,
     /// Per-day red-zone numerators `F(Wᵢ, day)`; retained after eviction.
-    pub(crate) region_f_by_day: BTreeMap<u32, Vec<Severity>>,
+    pub(crate) region_f_by_day: BTreeMap<u32, Arc<Vec<Severity>>>,
     /// Live macro-clusters (pairwise similarity ≤ δsim invariant).
     pub(crate) macros: LiveMacros,
     /// Days whose micro-clusters moved to the snapshot store.
-    pub(crate) persisted_days: BTreeSet<u32>,
+    pub(crate) persisted_days: Arc<BTreeSet<u32>>,
+    /// Bumped once per day eviction; snapshots carry it so caches can
+    /// tell "a day sealed" from "a cluster arrived".
+    pub(crate) seal_epoch: u64,
+    /// Memoized `Arc` of the macro fixpoint set, rebuilt lazily after a
+    /// mutation so back-to-back publications with no intervening
+    /// integration share one allocation.
+    macros_memo: Option<Arc<Vec<AtypicalCluster>>>,
 }
 
 impl LiveState {
@@ -122,7 +165,9 @@ impl LiveState {
             micros_by_day: BTreeMap::new(),
             region_f_by_day: BTreeMap::new(),
             macros: LiveMacros::new(params),
-            persisted_days: BTreeSet::new(),
+            persisted_days: Arc::new(BTreeSet::new()),
+            seal_epoch: 0,
+            macros_memo: None,
         }
     }
 
@@ -142,12 +187,23 @@ impl LiveState {
             ckpt.next_id,
             "restoring a fixpoint set must not merge"
         );
+        let persisted: BTreeSet<u32> = ckpt.persisted_days.iter().copied().collect();
         Self {
             ids,
-            micros_by_day: ckpt.micros_by_day.iter().cloned().collect(),
-            region_f_by_day: ckpt.region_f_by_day.iter().cloned().collect(),
+            micros_by_day: ckpt
+                .micros_by_day
+                .iter()
+                .map(|(day, micros)| (*day, Arc::new(micros.clone())))
+                .collect(),
+            region_f_by_day: ckpt
+                .region_f_by_day
+                .iter()
+                .map(|(day, f)| (*day, Arc::new(f.clone())))
+                .collect(),
             macros,
-            persisted_days: ckpt.persisted_days.iter().copied().collect(),
+            seal_epoch: persisted.len() as u64,
+            persisted_days: Arc::new(persisted),
+            macros_memo: None,
         }
     }
 
@@ -165,21 +221,52 @@ impl LiveState {
         let f = self
             .region_f_by_day
             .entry(day)
-            .or_insert_with(|| vec![Severity::ZERO; partition.num_regions() as usize]);
+            .or_insert_with(|| Arc::new(vec![Severity::ZERO; partition.num_regions() as usize]));
+        let f = Arc::make_mut(f);
         for (sensor, severity) in cluster.sf.iter() {
             f[partition.region_of(sensor).index()] += severity;
         }
         self.macros
             .integrate(cluster.clone(), params, &mut self.ids);
-        self.micros_by_day.entry(day).or_default().push(cluster);
+        self.macros_memo = None;
+        Arc::make_mut(self.micros_by_day.entry(day).or_default()).push(cluster);
     }
 
     /// Removes a completed day's micro-clusters for persistence. The
     /// day's `F` vector stays so red-zone guidance keeps covering it.
-    pub(crate) fn evict_day(&mut self, day: u32) -> Option<Vec<AtypicalCluster>> {
+    pub(crate) fn evict_day(&mut self, day: u32) -> Option<Arc<Vec<AtypicalCluster>>> {
         let micros = self.micros_by_day.remove(&day)?;
-        self.persisted_days.insert(day);
+        Arc::make_mut(&mut self.persisted_days).insert(day);
+        self.seal_epoch += 1;
         Some(micros)
+    }
+
+    /// Undoes [`evict_day`](Self::evict_day) after a failed persistence
+    /// attempt, so the day keeps being served from memory.
+    pub(crate) fn unevict_day(&mut self, day: u32, micros: Arc<Vec<AtypicalCluster>>) {
+        Arc::make_mut(&mut self.persisted_days).remove(&day);
+        self.micros_by_day.insert(day, micros);
+    }
+
+    /// The macro fixpoint set as a shared `Arc`, memoized until the next
+    /// integration.
+    pub(crate) fn macros_arc(&mut self) -> Arc<Vec<AtypicalCluster>> {
+        self.macros_memo
+            .get_or_insert_with(|| Arc::new(self.macros.snapshot()))
+            .clone()
+    }
+
+    /// Builds an epoch-stamped publication of this state. Cheap: every
+    /// container is shared copy-on-write with the live maps.
+    pub(crate) fn publishable(&mut self, epoch: u64) -> LiveSnapshot {
+        LiveSnapshot {
+            epoch,
+            seal_epoch: self.seal_epoch,
+            micros_by_day: self.micros_by_day.clone(),
+            region_f_by_day: self.region_f_by_day.clone(),
+            macros: self.macros_arc(),
+            persisted_days: self.persisted_days.clone(),
+        }
     }
 }
 
@@ -207,7 +294,8 @@ mod tests {
     #[test]
     fn indexed_live_macros_match_naive_admission() {
         let params = Params::paper_defaults();
-        let mut naive = LiveMacros::Naive(Vec::new());
+        let naive_params = params.with_indexed_integration(false);
+        let mut naive = LiveMacros::new(&naive_params);
         let mut indexed = LiveMacros::new(&params);
         assert!(matches!(indexed, LiveMacros::Indexed(_)));
         let mut ids_n = ClusterIdGen::new(100);
@@ -225,6 +313,33 @@ mod tests {
         }
         assert_eq!(naive.len(), indexed.len());
         assert!(indexed.stats().merges > 0);
+        // Both strategies walk the same work queue, so they merge the
+        // same pairs; the index only skips comparisons it proves
+        // fruitless, so the naive count dominates.
+        assert_eq!(naive.stats().merges, indexed.stats().merges);
+        assert!(naive.stats().comparisons >= indexed.stats().comparisons);
+    }
+
+    /// The naive scan instruments itself: comparisons and merges are
+    /// counted (they fed all-zero gauges before), while the prune/bound
+    /// counters stay zero — the naive path skips nothing.
+    #[test]
+    fn naive_stats_are_live() {
+        let params = Params::paper_defaults().with_indexed_integration(false);
+        let mut naive = LiveMacros::new(&params);
+        let mut ids = ClusterIdGen::new(100);
+        for i in 0..10u32 {
+            naive.integrate(
+                cluster(u64::from(i), &[1, 2, 3], &[1, 2, 3]),
+                &params,
+                &mut ids,
+            );
+        }
+        let stats = naive.stats();
+        assert!(stats.comparisons > 0, "scan evaluations must be counted");
+        assert!(stats.merges > 0, "identical clusters must merge");
+        assert_eq!(stats.candidates_pruned, 0);
+        assert_eq!(stats.bound_skips, 0);
     }
 
     /// `indexed_integration = false` selects the naive container.
@@ -233,11 +348,41 @@ mod tests {
         let naive_params = Params::paper_defaults().with_indexed_integration(false);
         assert!(matches!(
             LiveMacros::new(&naive_params),
-            LiveMacros::Naive(_)
+            LiveMacros::Naive { .. }
         ));
         assert_eq!(
             LiveMacros::new(&naive_params).stats(),
             IntegrationStats::default()
         );
+    }
+
+    /// Publications share containers copy-on-write: a published snapshot
+    /// keeps its day bucket bit-identical while the live state mutates on.
+    #[test]
+    fn publishable_snapshots_are_isolated_from_later_admissions() {
+        let params = Params::paper_defaults();
+        let network = cps_sim::TrafficSim::new(cps_sim::SimConfig::new(cps_sim::Scale::Tiny, 1))
+            .network()
+            .clone();
+        let partition = cps_geo::grid::UniformGrid::over(&network, 2.0).partition(&network);
+        let spec = WindowSpec::PEMS;
+        let mut live = LiveState::new(&params);
+        live.admit(cluster(1, &[0, 1], &[3, 4]), spec, &partition, &params);
+        let snap = live.publishable(1);
+        let frozen_micros = snap.micros_by_day.clone();
+        let frozen_f = snap.region_f_by_day.clone();
+        live.admit(cluster(2, &[5, 6], &[30, 31]), spec, &partition, &params);
+        live.admit(cluster(3, &[0, 1], &[3, 4]), spec, &partition, &params);
+        assert_eq!(snap.micros_by_day, frozen_micros, "pinned bucket unchanged");
+        assert_eq!(snap.region_f_by_day, frozen_f, "pinned F vector unchanged");
+        assert_eq!(snap.micros_by_day[&0].len(), 1);
+        assert_eq!(live.micros_by_day[&0].len(), 3);
+        // Eviction bumps the seal epoch and the persisted set, without
+        // touching the published snapshot's view of either.
+        let evicted = live.evict_day(0).expect("day 0 is live");
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(live.seal_epoch, 1);
+        assert!(snap.persisted_days.is_empty());
+        assert_eq!(snap.seal_epoch, 0);
     }
 }

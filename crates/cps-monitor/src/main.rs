@@ -157,12 +157,21 @@ fn run() -> Result<(), String> {
     let metrics = service.finish();
     println!("\n{metrics}\n");
 
-    let result = handle
+    // Query through the serving layer: the merger's final publication
+    // makes the snapshot identical to the quiescent live state, and the
+    // second identical query demonstrates the result cache.
+    let serve = handle.serve();
+    let result = serve
+        .query_guided(0, config.replay.days)
+        .map_err(|e| e.to_string())?;
+    let _ = serve
         .query_guided(0, config.replay.days)
         .map_err(|e| e.to_string())?;
     println!(
-        "guided query over day 0..{}: {} candidates -> {} inputs via {} red regions",
+        "guided query over day 0..{} (snapshot epoch {}): \
+         {} candidates -> {} inputs via {} red regions",
         config.replay.days,
+        serve.epoch(),
         result.candidate_clusters,
         result.input_clusters,
         result.num_red_regions,
@@ -177,5 +186,14 @@ fn run() -> Result<(), String> {
     for cluster in significant {
         println!("  {}", cluster.describe(config.spec));
     }
+    let cache = serve.cache_stats();
+    println!(
+        "result cache: {} hits, {} misses, {} stale ({:.0}% hit rate, {} entries)",
+        cache.hits,
+        cache.misses,
+        cache.stale,
+        cache.hit_rate() * 100.0,
+        cache.entries,
+    );
     Ok(())
 }

@@ -91,6 +91,12 @@ pub(crate) struct Merger {
     open_floor: Vec<Option<TimeWindow>>,
     boundary_floor: Vec<Option<TimeWindow>>,
     done: Vec<bool>,
+    /// Micro-clusters admitted since the last snapshot publication.
+    clusters_since_publish: u64,
+    /// Global window advances since the last snapshot publication.
+    windows_since_publish: u32,
+    /// Latest window any shard has reported (the global clock).
+    global_window: Option<TimeWindow>,
 }
 
 impl Merger {
@@ -107,6 +113,9 @@ impl Merger {
             open_floor: vec![None; shards],
             boundary_floor: vec![None; shards],
             done: vec![false; shards],
+            clusters_since_publish: 0,
+            windows_since_publish: 0,
+            global_window: None,
         }
     }
 
@@ -228,6 +237,14 @@ impl Merger {
                 self.clock[shard] = Some(window);
                 self.open_floor[shard] = open_floor;
                 self.boundary_floor[shard] = boundary_floor;
+                // Count *global* clock advances (shard clocks move in
+                // lock-step per broadcast, so only the first report of a
+                // new window counts) toward the window publication
+                // cadence: quiet periods still refresh readers.
+                if self.global_window.is_none_or(|g| window > g) {
+                    self.global_window = Some(window);
+                    self.windows_since_publish += 1;
+                }
             }
             MergerMsg::Done { shard } => {
                 self.done[shard] = true;
@@ -241,6 +258,24 @@ impl Merger {
         }
         self.finalize_ready();
         self.persist_complete_days();
+        self.publish_if_due();
+    }
+
+    /// Publishes a fresh snapshot when either cadence counter crossed its
+    /// configured threshold: admissions since the last publication
+    /// (bumped by [`finalize_records`](Self::finalize_records)) or global
+    /// window advances (bumped by the `Clock` handler). Both counters
+    /// reset together — one publication covers everything accumulated.
+    fn publish_if_due(&mut self) {
+        let serving = self.shared.serving;
+        if self.clusters_since_publish >= serving.publish_every_clusters
+            || self.windows_since_publish >= serving.publish_every_windows
+        {
+            let mut live = self.shared.live.lock();
+            self.shared.publish_snapshot(&mut live);
+            self.clusters_since_publish = 0;
+            self.windows_since_publish = 0;
+        }
     }
 
     pub(crate) fn run(mut self, rx: Receiver<MergerMsg>) {
@@ -260,6 +295,11 @@ impl Merger {
         }
         self.finalize_all();
         self.persist_complete_days();
+        // Final publication: after `finish` joins this thread, the latest
+        // snapshot equals the quiescent live state, so [`ReadView`] and
+        // the mutex path answer identically.
+        let mut live = self.shared.live.lock();
+        self.shared.publish_snapshot(&mut live);
     }
 
     fn metrics(&self) -> &Metrics {
@@ -444,6 +484,13 @@ impl Merger {
         self.metrics()
             .integration_bound_skips
             .store(istats.bound_skips, Ordering::Relaxed);
+        self.metrics()
+            .integration_comparisons
+            .store(istats.comparisons, Ordering::Relaxed);
+        self.metrics()
+            .integration_merges
+            .store(istats.merges, Ordering::Relaxed);
+        self.clusters_since_publish += 1;
     }
 
     /// Persists (and evicts) every live day that is provably complete.
@@ -491,14 +538,21 @@ impl Merger {
                     self.metrics()
                         .snapshot_bytes
                         .fetch_add(bytes, Ordering::Relaxed);
+                    // A seal changes where readers must look for the day
+                    // (store, not snapshot) and bumps `seal_epoch`:
+                    // publish immediately so cache entries keyed to the
+                    // old epoch die and no reader misses the day.
+                    let mut live = self.shared.live.lock();
+                    self.shared.publish_snapshot(&mut live);
+                    self.clusters_since_publish = 0;
+                    self.windows_since_publish = 0;
                 }
                 Err(e) => {
                     // Persistence is an optimization; keep serving from
                     // memory rather than killing the merger.
                     eprintln!("cps-monitor: failed to persist day {day}: {e}");
                     let mut live = self.shared.live.lock();
-                    live.persisted_days.remove(&day);
-                    live.micros_by_day.insert(day, micros);
+                    live.unevict_day(day, micros);
                     return;
                 }
             }

@@ -36,6 +36,13 @@ pub struct Metrics {
     /// upper bound already ruled them out (gauge; zero when
     /// `indexed_integration` is off).
     pub integration_bound_skips: AtomicU64,
+    /// Similarity evaluations performed by live integration so far
+    /// (gauge; populated on both the naive and indexed paths).
+    pub integration_comparisons: AtomicU64,
+    /// Merges performed by live integration so far (gauge).
+    pub integration_merges: AtomicU64,
+    /// Read-model snapshots published through the serving cell.
+    pub snapshots_published: AtomicU64,
     /// Day buckets persisted to the snapshot store.
     pub days_persisted: AtomicU64,
     /// Bytes written to the snapshot store.
@@ -78,6 +85,9 @@ impl Metrics {
             macro_clusters: AtomicU64::new(0),
             integration_candidates_pruned: AtomicU64::new(0),
             integration_bound_skips: AtomicU64::new(0),
+            integration_comparisons: AtomicU64::new(0),
+            integration_merges: AtomicU64::new(0),
+            snapshots_published: AtomicU64::new(0),
             days_persisted: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
             workers_dead: AtomicU64::new(0),
@@ -151,6 +161,9 @@ impl Metrics {
                 .integration_candidates_pruned
                 .load(Ordering::Relaxed),
             integration_bound_skips: self.integration_bound_skips.load(Ordering::Relaxed),
+            integration_comparisons: self.integration_comparisons.load(Ordering::Relaxed),
+            integration_merges: self.integration_merges.load(Ordering::Relaxed),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
             days_persisted: self.days_persisted.load(Ordering::Relaxed),
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
             workers_dead: self.workers_dead.load(Ordering::Relaxed),
@@ -186,6 +199,9 @@ pub struct MetricsSnapshot {
     pub macro_clusters: u64,
     pub integration_candidates_pruned: u64,
     pub integration_bound_skips: u64,
+    pub integration_comparisons: u64,
+    pub integration_merges: u64,
+    pub snapshots_published: u64,
     pub days_persisted: u64,
     pub snapshot_bytes: u64,
     pub workers_dead: u64,
@@ -223,6 +239,12 @@ impl fmt::Display for MetricsSnapshot {
             "macro-clusters      {:>10}  ({} pruned, {} bound-skipped)",
             self.macro_clusters, self.integration_candidates_pruned, self.integration_bound_skips
         )?;
+        writeln!(
+            f,
+            "integration work    {:>10}  comparisons ({} merges)",
+            self.integration_comparisons, self.integration_merges
+        )?;
+        writeln!(f, "snapshots published {:>10}", self.snapshots_published)?;
         writeln!(
             f,
             "days persisted      {:>10}  ({} bytes)",

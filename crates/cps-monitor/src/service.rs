@@ -27,7 +27,9 @@
 //! in place from checkpoint + WAL replay and the failed send retried;
 //! the budget spent, the shard is typed permanently failed.
 
-use crate::config::{DurabilityConfig, FaultConfig, FsyncPolicy, MonitorConfig, OverflowPolicy};
+use crate::config::{
+    DurabilityConfig, FaultConfig, FsyncPolicy, MonitorConfig, OverflowPolicy, ServingConfig,
+};
 use crate::durability::{
     checkpoint_path, decode_entry, encode_entry, load_checkpoint, shard_wal_dir, write_checkpoint,
     CheckpointDoc, LiveCkpt, MergerCkpt, ShardCkpt, WalOp,
@@ -42,10 +44,13 @@ use atypical::online::{OnlineExtractor, OutOfOrderRecord, SealedRawEvent};
 use atypical::significant::significance_threshold;
 use atypical::store::{ForestLevel, ForestStore};
 use atypical::AtypicalCluster;
+use cps_core::ids::ClusterIdGen;
 use cps_core::{AtypicalRecord, Params, RegionId, Severity, TimeRange, TimeWindow, WindowSpec};
 use cps_geo::grid::{SensorPartition, UniformGrid};
 use cps_geo::RoadNetwork;
 use cps_index::st_index::max_gap_windows;
+pub use cps_serve::GuidedQuery;
+use cps_serve::{ReadView, ServeContext, ServeHandle, ServeState, QUERY_ID_BASE};
 use cps_storage::wal::{read_wal, repair_tail, truncate_segments_below, SyncPolicy, WalWriter};
 use cps_storage::Io;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
@@ -62,17 +67,37 @@ const BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
 /// State shared between the ingest thread, workers, merger, and handles.
 pub(crate) struct SharedState {
     pub(crate) network: Arc<RoadNetwork>,
-    pub(crate) partition: SensorPartition,
+    pub(crate) partition: Arc<SensorPartition>,
     pub(crate) params: Params,
     pub(crate) spec: WindowSpec,
     pub(crate) metrics: Metrics,
     pub(crate) live: Mutex<LiveState>,
-    pub(crate) store: Option<ForestStore>,
+    pub(crate) store: Option<Arc<ForestStore>>,
+    /// The lock-free read side: snapshot cell + result cache. The merger
+    /// publishes into it; [`MonitorHandle::read_view`] and
+    /// [`MonitorHandle::serve`] read from it without the live mutex.
+    pub(crate) serve: Arc<ServeState>,
+    /// Publication cadence (from the `[serving]` config section).
+    pub(crate) serving: ServingConfig,
     pub(crate) started: Instant,
     /// Per-shard count of sealed events actually handed to the merger.
     /// Checkpoints record it so respawn replay can suppress regenerated
     /// events the merger already holds.
     pub(crate) sealed_sent: Vec<AtomicU64>,
+}
+
+impl SharedState {
+    /// Publishes the live state's current read model through the serving
+    /// cell, stamped with a fresh epoch. Called by the merger (at its
+    /// configured cadence and on every day seal) while it holds the live
+    /// lock, so the snapshot is internally consistent.
+    pub(crate) fn publish_snapshot(&self, live: &mut LiveState) {
+        let epoch = self.serve.next_epoch();
+        self.serve.publish(live.publishable(epoch));
+        self.metrics
+            .snapshots_published
+            .fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Ingest → worker protocol.
@@ -590,22 +615,48 @@ impl MonitorService {
             config.shards,
             params.delta_d_miles,
         ));
-        let partition = UniformGrid::over(network, config.red_cell_miles).partition(network);
+        let partition =
+            Arc::new(UniformGrid::over(network, config.red_cell_miles).partition(network));
         let store = match &config.snapshot_dir {
-            Some(dir) => Some(ForestStore::open_with(dir, io.clone()).map_err(|e| e.to_string())?),
+            Some(dir) => Some(Arc::new(
+                ForestStore::open_with(dir, io.clone()).map_err(|e| e.to_string())?,
+            )),
             None => None,
         };
+        // Epoch 0 carries the initial read model: empty for a fresh start,
+        // the restored state for a recovery — readers never see a gap.
+        let mut live = live.unwrap_or_else(|| LiveState::new(&params));
+        let initial = live.publishable(0);
+        let serve = Arc::new(ServeState::new(
+            ServeContext {
+                partition: partition.clone(),
+                params,
+                spec,
+                num_sensors: network.num_sensors() as u32,
+                store: store.clone(),
+            },
+            initial,
+            config.serving.cache_shards,
+            config.serving.cache_capacity,
+            config.serving.cache,
+        ));
         let shared = Arc::new(SharedState {
             network: network.clone(),
             partition,
             params,
             spec,
             metrics: Metrics::new(config.shards),
-            live: Mutex::new(live.unwrap_or_else(|| LiveState::new(&params))),
+            live: Mutex::new(live),
             store,
+            serve,
+            serving: config.serving,
             started: Instant::now(),
             sealed_sent: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
         });
+        shared
+            .metrics
+            .snapshots_published
+            .fetch_add(1, Ordering::Relaxed);
         Ok((shared, map, max_gap_windows(&params, spec)))
     }
 
@@ -1038,12 +1089,12 @@ impl MonitorService {
                 micros_by_day: live
                     .micros_by_day
                     .iter()
-                    .map(|(day, micros)| (*day, micros.clone()))
+                    .map(|(day, micros)| (*day, micros.as_ref().clone()))
                     .collect(),
                 region_f_by_day: live
                     .region_f_by_day
                     .iter()
-                    .map(|(day, f)| (*day, f.clone()))
+                    .map(|(day, f)| (*day, f.as_ref().clone()))
                     .collect(),
                 macros: live.macros.snapshot(),
                 persisted_days: live.persisted_days.iter().copied().collect(),
@@ -1123,36 +1174,20 @@ impl MonitorService {
     }
 }
 
-/// Outcome of one red-zone-guided window query (Algorithm 4 over the
-/// live + persisted day levels).
-#[derive(Clone, Debug)]
-pub struct GuidedQuery {
-    /// Window range of the query.
-    pub range: TimeRange,
-    /// Macro-clusters integrated from the guided inputs.
-    pub macros: Vec<AtypicalCluster>,
-    /// Significance threshold at the query scale (Definition 5).
-    pub threshold: Severity,
-    /// Regions marked red by the incrementally maintained `F` values.
-    pub num_red_regions: usize,
-    /// Micro-clusters in the query range before guidance.
-    pub candidate_clusters: usize,
-    /// Micro-clusters that survived the red-zone filter.
-    pub input_clusters: usize,
-}
-
-impl GuidedQuery {
-    /// The macro-clusters significant at the query scale.
-    pub fn significant(&self) -> Vec<&AtypicalCluster> {
-        self.macros
-            .iter()
-            .filter(|c| c.severity() > self.threshold)
-            .collect()
-    }
-}
-
-/// Cloneable, thread-safe query facade over the service's live state and
-/// snapshot store.
+/// Cloneable, thread-safe query facade over the service.
+///
+/// Two read paths coexist:
+///
+/// - The methods below answer against the **live state** under its mutex —
+///   always the absolute freshest answer, but each call contends with the
+///   merger for the lock.
+/// - [`read_view`](Self::read_view) pins the latest **published snapshot**
+///   as a lock-free [`ReadView`] (and [`serve`](Self::serve) adds the
+///   result cache in front). Snapshot reads never block ingest and a
+///   pinned view is internally consistent across a multi-step drill-down;
+///   they trail the live state by at most the configured publication
+///   cadence. At quiescence (after [`MonitorService::finish`]) both paths
+///   answer identically.
 #[derive(Clone)]
 pub struct MonitorHandle {
     shared: Arc<SharedState>,
@@ -1164,16 +1199,31 @@ impl MonitorHandle {
         self.shared.metrics.snapshot(self.shared.started.elapsed())
     }
 
+    /// Pins the latest published snapshot as a lock-free [`ReadView`]:
+    /// one atomic load, no contention with the merger.
+    pub fn read_view(&self) -> ReadView {
+        self.serve().view()
+    }
+
+    /// A `Send + Clone` snapshot-backed query handle with the result
+    /// cache in front (see the `[serving]` config section).
+    pub fn serve(&self) -> ServeHandle {
+        ServeHandle::new(self.shared.serve.clone())
+    }
+
     /// The live macro-clusters (Algorithm 3 fixpoint over every finalized
-    /// micro-cluster so far).
+    /// micro-cluster so far), from the mutex path.
     pub fn live_macro_clusters(&self) -> Vec<AtypicalCluster> {
         self.shared.live.lock().macros.snapshot()
     }
 
-    /// Every live (not yet persisted) micro-cluster.
+    /// Every live (not yet persisted) micro-cluster, from the mutex path.
     pub fn live_micro_clusters(&self) -> Vec<AtypicalCluster> {
         let live = self.shared.live.lock();
-        live.micros_by_day.values().flatten().cloned().collect()
+        live.micros_by_day
+            .values()
+            .flat_map(|v| v.iter().cloned())
+            .collect()
     }
 
     /// One day's micro-clusters, from live memory or the snapshot store.
@@ -1181,7 +1231,7 @@ impl MonitorHandle {
         {
             let live = self.shared.live.lock();
             if let Some(micros) = live.micros_by_day.get(&day) {
-                return Ok(micros.clone());
+                return Ok(micros.as_ref().clone());
             }
         }
         match &self.shared.store {
@@ -1256,8 +1306,11 @@ impl MonitorHandle {
         let alignment = TimeAlignment::TimeOfDay {
             windows_per_day: spec.windows_per_day(),
         };
-        let mut live = self.shared.live.lock();
-        let (macros, _stats) = integrate_aligned(inputs, params, alignment, &mut live.ids);
+        // Query-local id generator (fixed base): queries never consume
+        // service ids, so the same state always yields the same result —
+        // and the mutex path agrees bit-for-bit with [`ReadView`].
+        let mut ids = ClusterIdGen::new(QUERY_ID_BASE);
+        let (macros, _stats) = integrate_aligned(inputs, params, alignment, &mut ids);
         Ok(GuidedQuery {
             range,
             macros,
@@ -1289,7 +1342,7 @@ impl MonitorHandle {
             .region_f_by_day
             .range(first_day..first_day.saturating_add(n_days))
         {
-            for (acc, &s) in f.iter_mut().zip(day_f) {
+            for (acc, &s) in f.iter_mut().zip(day_f.iter()) {
                 *acc += s;
             }
         }

@@ -1,0 +1,217 @@
+//! The snapshot read path must never change an answer: at quiescence
+//! (after `finish`, which joins the merger behind its final publication)
+//! every query through a pinned [`ReadView`], through the cached
+//! [`ServeHandle`], and through a cache-disabled handle is bit-identical
+//! to the mutex-path oracle — with and without a snapshot store, and for
+//! a service rebuilt by crash recovery before it ingests anything new.
+
+use cps_monitor::{
+    DurabilityConfig, FsyncPolicy, MonitorConfig, MonitorHandle, MonitorService, OverflowPolicy,
+};
+use cps_sim::{Scale, SimConfig, TrafficSim};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const DAYS: u32 = 3;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("cps-serving-diff-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create test temp dir");
+    dir
+}
+
+fn sim() -> TrafficSim {
+    // Hot-region skew on: the differential guarantee must hold for the
+    // skewed operational workload the serving bench replays, too.
+    TrafficSim::new(SimConfig::new(Scale::Tiny, 7).with_hot_region(0.2, 0.5))
+}
+
+fn feed(sim: &TrafficSim) -> Vec<cps_core::AtypicalRecord> {
+    let mut records: Vec<_> = (0..DAYS).flat_map(|d| sim.atypical_day(d)).collect();
+    records.sort_unstable_by_key(|r| (r.window, r.sensor));
+    assert!(!records.is_empty());
+    records
+}
+
+fn base_config(sim: &TrafficSim) -> MonitorConfig {
+    MonitorConfig {
+        shards: 3,
+        spec: sim.config().spec,
+        overflow: OverflowPolicy::Block,
+        ..MonitorConfig::default()
+    }
+}
+
+/// Runs the feed to quiescence and returns the handle (the service itself
+/// is consumed by `finish`).
+fn run_to_quiescence(config: &MonitorConfig, sim: &TrafficSim) -> MonitorHandle {
+    let network = Arc::new(sim.network().clone());
+    let mut service = MonitorService::start(config, network).expect("service starts");
+    let handle = service.handle();
+    for record in feed(sim) {
+        assert!(service.ingest(record).expect("healthy ingest"));
+    }
+    let metrics = service.finish();
+    assert!(
+        metrics.snapshots_published > 0,
+        "the merger must publish: {metrics}"
+    );
+    handle
+}
+
+/// Every query of the surface, through all three read paths, over every
+/// whole-day range of the feed. The cached queries run twice so the
+/// second answer is served from the cache and must still match.
+fn assert_paths_agree(handle: &MonitorHandle) {
+    let serve = handle.serve();
+    let view = handle.read_view();
+    for first in 0..DAYS {
+        for n in 1..=(DAYS - first) {
+            let red = handle.red_regions(first, n);
+            let guided = handle.query_guided(first, n).expect("mutex query");
+            let significant = handle.significant_clusters(first, n).expect("mutex query");
+            assert_eq!(view.red_regions(first, n), red, "red_regions({first},{n})");
+            assert_eq!(
+                view.query_guided(first, n).expect("view query"),
+                guided,
+                "query_guided({first},{n})"
+            );
+            assert_eq!(
+                view.significant_clusters(first, n).expect("view query"),
+                significant,
+                "significant_clusters({first},{n})"
+            );
+            for round in 0..2 {
+                assert_eq!(
+                    *serve.red_regions(first, n),
+                    red,
+                    "cached red_regions({first},{n}) round {round}"
+                );
+                assert_eq!(
+                    *serve.query_guided(first, n).expect("cached query"),
+                    guided,
+                    "cached query_guided({first},{n}) round {round}"
+                );
+                assert_eq!(
+                    *serve.significant_clusters(first, n).expect("cached query"),
+                    significant,
+                    "cached significant_clusters({first},{n}) round {round}"
+                );
+            }
+        }
+    }
+    for day in 0..DAYS {
+        let micros = handle.micro_clusters_for_day(day).expect("mutex query");
+        assert_eq!(
+            *view.micro_clusters_for_day(day).expect("view query"),
+            micros,
+            "micro_clusters_for_day({day})"
+        );
+        assert_eq!(
+            *serve.micro_clusters_for_day(day).expect("cached query"),
+            micros,
+            "cached micro_clusters_for_day({day})"
+        );
+    }
+    let macros = handle.live_macro_clusters();
+    assert_eq!(*view.live_macro_clusters(), macros, "live_macro_clusters");
+    assert_eq!(*serve.live_macro_clusters(), macros);
+}
+
+/// All-live configuration: no store, every day answered from memory.
+#[test]
+fn snapshot_paths_match_mutex_at_quiescence() {
+    let sim = sim();
+    let handle = run_to_quiescence(&base_config(&sim), &sim);
+    assert_paths_agree(&handle);
+    let stats = handle.serve().cache_stats();
+    assert!(stats.hits > 0, "second rounds must hit: {stats:?}");
+}
+
+/// With a snapshot store the early days seal mid-run: sealed days answer
+/// from disk, live days from the snapshot — same answers either way, and
+/// sealed-range cache entries are immutable (hits survive any epoch).
+#[test]
+fn snapshot_paths_match_mutex_with_sealed_days() {
+    let sim = sim();
+    let dir = fresh_dir("store");
+    let config = MonitorConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..base_config(&sim)
+    };
+    let handle = run_to_quiescence(&config, &sim);
+    let view = handle.read_view();
+    assert!(
+        !view.snapshot().persisted_days.is_empty(),
+        "a multi-day feed with a store must seal days"
+    );
+    assert!(view.seal_epoch() > 0);
+    assert_paths_agree(&handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Disabling the cache changes performance, never answers: the handle
+/// recomputes every query and its counters stay untouched.
+#[test]
+fn cache_disabled_serves_identical_results() {
+    let sim = sim();
+    let mut config = base_config(&sim);
+    config.serving.cache = false;
+    let handle = run_to_quiescence(&config, &sim);
+    let serve = handle.serve();
+    assert!(!serve.cache_enabled());
+    assert_paths_agree(&handle);
+    let stats = serve.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.stale, stats.entries),
+        (0, 0, 0, 0),
+        "a disabled cache must not count or hold anything"
+    );
+}
+
+/// A coarse publication cadence only changes *when* snapshots appear;
+/// the merger's final publication still makes quiescent answers exact.
+#[test]
+fn coarse_cadence_still_converges_at_quiescence() {
+    let sim = sim();
+    let mut config = base_config(&sim);
+    config.serving.publish_every_clusters = 1_000;
+    config.serving.publish_every_windows = 500;
+    let handle = run_to_quiescence(&config, &sim);
+    assert_paths_agree(&handle);
+}
+
+/// A crash-recovered service publishes its restored state as the initial
+/// snapshot: the read view answers correctly before any new ingest.
+#[test]
+fn recovered_service_initial_view_matches_mutex() {
+    let sim = sim();
+    let network = Arc::new(sim.network().clone());
+    let wal_dir = fresh_dir("wal");
+    let config = MonitorConfig {
+        durability: DurabilityConfig {
+            wal_dir: Some(wal_dir.clone()),
+            fsync: FsyncPolicy::Group,
+            checkpoint_interval_records: 2_000,
+            ..DurabilityConfig::default()
+        },
+        ..base_config(&sim)
+    };
+    {
+        let mut service = MonitorService::start(&config, network.clone()).expect("service starts");
+        for record in feed(&sim) {
+            assert!(service.ingest(record).expect("healthy ingest"));
+        }
+        // Abrupt drop: no finish, no final checkpoint — the WAL replays.
+    }
+    let (service, report) = MonitorService::recover(&config, network).expect("recovery succeeds");
+    assert!(report.replayed_entries > 0);
+    let handle = service.handle();
+    assert_paths_agree(&handle);
+    drop(service);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}

@@ -81,6 +81,17 @@ pub struct SimConfig {
     pub noise_dip_prob: f64,
     /// Expected accidents per day per 400 sensors.
     pub accident_rate: f64,
+    /// Fraction of the deployment's sensors forming the *hot region*
+    /// (the spatially compact set nearest the deployment center). `0.0`
+    /// (the default) disables skew entirely: the generated archive is
+    /// bit-identical to one produced before the knob existed.
+    pub hot_region_ratio: f64,
+    /// Extra transient event mass aimed at the hot region, as a fraction
+    /// of the day's organically planned events (security-log-style
+    /// operational skew: a small slice of the deployment produces most of
+    /// the incident volume). Drawn from its own RNG stream, so turning it
+    /// on only *adds* events — the base day is unchanged.
+    pub hot_region_share: f64,
 }
 
 impl SimConfig {
@@ -99,12 +110,25 @@ impl SimConfig {
             background_rate: 1.0,
             noise_dip_prob: 0.001,
             accident_rate: 1.0,
+            hot_region_ratio: 0.0,
+            hot_region_share: 0.0,
         }
     }
 
     /// Builder-style override of the dataset count.
     pub fn with_datasets(mut self, n: u32) -> Self {
         self.n_datasets = n;
+        self
+    }
+
+    /// Builder-style hot-region skew: `ratio` of the sensors form the hot
+    /// region, `share` scales the extra event mass aimed at it. Both must
+    /// be in `[0, 1]`; `(0, 0)` restores the unskewed generator.
+    pub fn with_hot_region(mut self, ratio: f64, share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&share), "share must be in [0, 1]");
+        self.hot_region_ratio = ratio;
+        self.hot_region_share = share;
         self
     }
 

@@ -23,6 +23,8 @@ pub enum EventCause {
     Background,
     /// Triggered by a simulated accident.
     Accident,
+    /// Extra transient event injected by the hot-region skew mode.
+    HotRegion,
 }
 
 /// Parameters of one planned event.

@@ -82,6 +82,10 @@ pub struct TrafficSim {
     network: RoadNetwork,
     hotspots: Vec<Hotspot>,
     background_sites: Vec<BackgroundSite>,
+    /// The hot-region sensor set (empty when skew is off): the
+    /// `hot_region_ratio` fraction of sensors nearest the deployment
+    /// center, so the region is spatially compact.
+    hot_sensors: Vec<SensorId>,
 }
 
 impl TrafficSim {
@@ -208,11 +212,37 @@ impl TrafficSim {
                 fire_prob: rng.gen_range(0.03..0.25),
             })
             .collect();
+        // Deterministic (no RNG draws): the nearest-to-center sensors by
+        // squared coordinate distance, so enabling skew cannot perturb the
+        // hotspot/background streams above.
+        let hot_sensors = if config.hot_region_ratio > 0.0 {
+            let k = ((network.num_sensors() as f64 * config.hot_region_ratio).ceil() as usize)
+                .clamp(1, network.num_sensors());
+            let bbox = network.bbox();
+            let (clat, clon) = (
+                (bbox.min_lat + bbox.max_lat) / 2.0,
+                (bbox.min_lon + bbox.max_lon) / 2.0,
+            );
+            let mut by_distance: Vec<(f64, SensorId)> = network
+                .sensors()
+                .iter()
+                .map(|s| {
+                    let (dlat, dlon) = (s.location.lat - clat, s.location.lon - clon);
+                    (dlat * dlat + dlon * dlon, s.id)
+                })
+                .collect();
+            by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)));
+            by_distance.truncate(k);
+            by_distance.into_iter().map(|(_, id)| id).collect()
+        } else {
+            Vec::new()
+        };
         Self {
             config,
             network,
             hotspots,
             background_sites,
+            hot_sensors,
         }
     }
 
@@ -236,6 +266,11 @@ impl TrafficSim {
         &self.background_sites
     }
 
+    /// The hot-region sensors (empty when `hot_region_ratio` is 0).
+    pub fn hot_sensors(&self) -> &[SensorId] {
+        &self.hot_sensors
+    }
+
     /// The congestion criterion matching the generator's speed model.
     pub fn criterion(&self) -> SpeedThreshold {
         SpeedThreshold {
@@ -250,6 +285,16 @@ impl TrafficSim {
         let mut z = self
             .config
             .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(day) + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// Separate stream for the hot-region skew: the base day's draws are
+    /// untouched whether or not skew is on.
+    fn hot_rng(&self, day: u32) -> StdRng {
+        let mut z = (self.config.seed ^ 0x686f_745f_7265_6769)
             .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(day) + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -390,6 +435,33 @@ impl TrafficSim {
                 ),
                 cause: EventCause::Accident,
             });
+        }
+
+        // Hot-region skew (off by default): extra transient events seeded
+        // inside the compact hot set, from a dedicated RNG stream. With
+        // the mode off this block draws nothing, so the default archive
+        // is bit-identical to one generated before the knob existed.
+        if !self.hot_sensors.is_empty() && self.config.hot_region_share > 0.0 {
+            let mut hot_rng = self.hot_rng(day);
+            let extra =
+                ((planned.len() as f64 * self.config.hot_region_share).ceil() as usize).max(1);
+            for _ in 0..extra {
+                let sensor = self.hot_sensors[hot_rng.gen_range(0..self.hot_sensors.len())];
+                let minute = hot_rng.gen_range(300..1380); // 05:00–23:00
+                let start = (day_start + minute / spec.window_minutes).min(day_start + wpd - 4);
+                planned.push(PlannedEvent {
+                    template: self.clamped_template(
+                        sensor,
+                        start,
+                        hot_rng.gen_range(4..=12),
+                        hot_rng.gen_range(1..=3),
+                        hot_rng.gen_range(0.6..0.9),
+                        0.35,
+                        day_start + wpd,
+                    ),
+                    cause: EventCause::HotRegion,
+                });
+            }
         }
 
         // Overlay event impacts (max wins where events overlap).
@@ -708,6 +780,60 @@ mod tests {
         let ctx = ContextLog::load(&root, DatasetId::new(1)).unwrap();
         assert_eq!(ctx.weather.len(), 3);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn zero_hot_region_is_bit_identical_to_default() {
+        let plain = TrafficSim::new(SimConfig::new(Scale::Tiny, 42));
+        let zeroed = TrafficSim::new(SimConfig::new(Scale::Tiny, 42).with_hot_region(0.0, 0.0));
+        assert!(zeroed.hot_sensors().is_empty());
+        for day in 0..3 {
+            let a = plain.generate_day(day);
+            let b = zeroed.generate_day(day);
+            assert_eq!(a.raw, b.raw);
+            assert_eq!(a.planned, b.planned);
+        }
+    }
+
+    #[test]
+    fn hot_region_skew_concentrates_events() {
+        let config = SimConfig::new(Scale::Tiny, 42).with_hot_region(0.15, 0.8);
+        let s = TrafficSim::new(config);
+        let hot: std::collections::HashSet<SensorId> = s.hot_sensors().iter().copied().collect();
+        assert!(!hot.is_empty());
+        assert!(hot.len() <= (s.network().num_sensors() as f64 * 0.15).ceil() as usize);
+        let (mut injected, mut in_hot) = (0usize, 0usize);
+        for day in 0..5 {
+            for ev in s.generate_day(day).planned {
+                if ev.cause == EventCause::HotRegion {
+                    injected += 1;
+                    if hot.contains(&ev.template.seed_sensor) {
+                        in_hot += 1;
+                    }
+                }
+            }
+        }
+        assert!(injected > 0, "skew mode planned no extra events");
+        assert_eq!(
+            in_hot, injected,
+            "every injected event seeds in the hot set"
+        );
+    }
+
+    #[test]
+    fn hot_region_leaves_base_planned_events_unchanged() {
+        let plain = TrafficSim::new(SimConfig::new(Scale::Tiny, 42));
+        let skewed = TrafficSim::new(SimConfig::new(Scale::Tiny, 42).with_hot_region(0.2, 0.5));
+        for day in 0..3 {
+            let base = plain.generate_day(day).planned;
+            let with_skew: Vec<PlannedEvent> = skewed
+                .generate_day(day)
+                .planned
+                .into_iter()
+                .filter(|e| e.cause != EventCause::HotRegion)
+                .collect();
+            assert_eq!(base, with_skew, "skew only appends events");
+        }
     }
 
     #[test]

@@ -73,6 +73,31 @@ cargo run -q -p cps-bench --bin repro -- forest \
   --days 8 --threads 1,4 --iters 1 --bench-out results/BENCH_forest_smoke.json
 test -s results/BENCH_forest_smoke.json
 
+# Serving-layer concurrency gate: the seeded stress suite (readers racing
+# ingest, day seals, and checkpoints — every pinned snapshot checked for
+# torn-publication invariants) plus the quiescent differential suite
+# (mutex == ReadView == cached == cache-off, including the recovered-
+# service initial view), a few times so the scheduler gets chances to
+# interleave differently on small hosts.
+echo "==> serving-layer stress + differential suites"
+for _ in 1 2 3; do
+  cargo test -q -p cps-monitor --test serving_stress
+done
+cargo test -q -p cps-monitor --test serving_differential
+
+# Query-serving bench smoke: tiny feed, one iteration, one reader per
+# path. The run itself cross-checks cached == uncached == mutex answers
+# at quiescence (it panics on any divergence before writing the
+# artifact), so this gates the snapshot publication + cache path end to
+# end. The committed repo-root BENCH_query_serving.json is the
+# full-scale release artifact from `repro query-serving --scale small
+# --threads 1,4,8`.
+echo "==> repro query-serving (smoke)"
+cargo run -q -p cps-bench --bin repro -- query-serving \
+  --days 2 --max-records 300 --threads 1 --iters 1 \
+  --bench-out results/BENCH_query_serving_smoke.json
+test -s results/BENCH_query_serving_smoke.json
+
 # Recovery bench smoke: one day, capped feed, one iteration. The run
 # itself asserts planted checkpoints shrink the replayed suffix and that
 # recovery succeeds at every suffix length, so this gates the WAL +
